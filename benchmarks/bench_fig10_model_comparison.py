@@ -1,0 +1,31 @@
+"""Bench: Fig 10 — model comparison on the CACE corpus.
+
+Paper: CHDBN ~95.1% beats CHMM (+5), FCRF (+8) and HMM (+20); per-class
+CHDBN metrics in Fig 10(b) with overall FP 1.5 / P 97.3 / R 95.1 / F 96.8.
+"""
+
+from benchmarks.conftest import record, workload
+from repro.eval.experiments import fig10_model_comparison
+
+
+def test_fig10_model_comparison(benchmark):
+    params = workload()
+    result = benchmark.pedantic(
+        fig10_model_comparison,
+        kwargs={
+            "n_homes": max(params["n_homes"], 4),
+            "sessions_per_home": max(params["sessions_per_home"], 5),
+            "duration_s": max(params["duration_s"], 3600.0),
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("fig10", result.render())
+    overall = result.overall
+    # The paper's ordering: CACE's CHDBN on top, flat HMM at the bottom.
+    assert overall["chdbn"] > overall["chmm"] - 0.02
+    assert overall["chdbn"] > overall["fcrf"]
+    assert overall["chdbn"] > overall["hmm"]
+    assert overall["chmm"] > overall["hmm"]

@@ -1,0 +1,46 @@
+"""Bench: Fig 8(a) context ablation and Fig 8(b) cost curves.
+
+Paper 8(a): overall ~95.1% > without gestural ~89.7% > without
+sub-location ~80.5%, consistently across the five homes.
+Paper 8(b): precision/recall trade off against FP rate as the classifier's
+decision cost varies.
+"""
+
+from benchmarks.conftest import record, workload
+from repro.eval.experiments import fig8a_context_ablation, fig8b_cost_curves
+
+
+def test_fig8a_context_ablation(benchmark):
+    params = workload()
+    result = benchmark.pedantic(
+        fig8a_context_ablation,
+        kwargs={
+            "n_homes": params["n_homes"],
+            "sessions_per_home": params["sessions_per_home"],
+            "duration_s": params["duration_s"],
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("fig8a", result.render())
+    # Ablation ordering: every removed context channel costs accuracy.
+    assert result.overall["overall"] > result.overall["without_gestural"]
+    assert result.overall["without_gestural"] > result.overall["without_sublocation"]
+
+
+def test_fig8b_cost_curves(benchmark):
+    result = benchmark.pedantic(
+        fig8b_cost_curves,
+        kwargs={"n_homes": 2, "sessions_per_home": 4, "duration_s": 2100.0, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("fig8b", result.render())
+    fp_rates = [p[0] for p in result.points]
+    recalls = [p[2] for p in result.points]
+    # Raising the decision threshold trades recall for a lower FP rate.
+    assert fp_rates[-1] <= fp_rates[0] + 1e-9
+    assert recalls[-1] <= recalls[0] + 1e-9

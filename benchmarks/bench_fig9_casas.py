@@ -1,0 +1,34 @@
+"""Bench: Fig 9 — CASAS-style per-class table.
+
+Paper: overall accuracy ~94.5% (FP 1.4%, precision 96.5%, recall 94.5%)
+with ~99.3% on the shared tasks (Move Furniture, Play Checkers); 47 merged
+rules.  Our corpus is a synthetic stand-in with the same published shape
+(15 scripted tasks, two joint, no gestural channel).
+"""
+
+from repro.eval.experiments import fig9_casas_per_class
+from benchmarks.conftest import record
+
+
+def test_fig9_casas_per_class(benchmark):
+    # The paper ran 26 pairs with full-length tasks; 12 pairs at 0.6x task
+    # durations is the largest workload that keeps this bench in tens of
+    # seconds.  Accuracy rises monotonically toward the paper's 94.5% as
+    # pairs/durations grow (see EXPERIMENTS.md).
+    result = benchmark.pedantic(
+        fig9_casas_per_class,
+        kwargs={
+            "n_pairs": 12,
+            "sessions_per_pair": 2,
+            "duration_scale": 0.6,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("fig9", result.render())
+    assert result.report.accuracy > 0.75
+    # Shared tasks benefit from coupling: at or above overall accuracy.
+    assert result.shared_accuracy >= result.report.accuracy - 0.05
+    assert result.n_rules > 0

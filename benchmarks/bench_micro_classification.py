@@ -1,0 +1,24 @@
+"""Bench: micro-level activity classification (paper §VII-E text numbers).
+
+Paper: postural 98.6% accuracy / 0.6% FP; oral-gestural 95.3% / 1.8%.
+"""
+
+from repro.eval.experiments import micro_level_results
+from benchmarks.conftest import record
+
+
+def test_micro_level_classification(benchmark):
+    result = benchmark.pedantic(
+        micro_level_results,
+        kwargs={"seconds_per_class": 30.0, "seed": 11},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("micro_level", result.render())
+    # Shape: both classifiers in the 90s, postural the stronger one.
+    assert result.reports["postural"].accuracy > 0.9
+    assert result.reports["gestural"].accuracy > 0.85
+    assert (
+        result.reports["postural"].accuracy >= result.reports["gestural"].accuracy - 0.02
+    )

@@ -1,0 +1,65 @@
+"""Bench: occupancy scaling — 2 vs 3 residents (the paper's conjecture).
+
+The paper's experiments cover resident pairs; its conclusion claims the
+framework extends to 3-4 occupants.  This bench measures accuracy and
+decode cost as occupancy grows, exercising the N-chain loosely-coupled
+HDBN and documenting how the pruned joint trellis scales.
+"""
+
+from benchmarks.conftest import record
+from repro.core.engine import CaceEngine
+from repro.datasets.cace import generate_cace_dataset
+from repro.datasets.trace import train_test_split
+from repro.util.rng import ensure_rng
+
+
+def run_scaling(seed=7):
+    rows = {}
+    for residents in (2, 3):
+        rng = ensure_rng(seed + residents)
+        dataset = generate_cace_dataset(
+            n_homes=2,
+            sessions_per_home=4,
+            duration_s=2700.0,
+            residents_per_home=residents,
+            seed=rng.integers(0, 2**31),
+        )
+        train, test = train_test_split(dataset, 0.7, seed=rng.integers(0, 2**31))
+        engine = CaceEngine(strategy="c2", seed=rng.integers(0, 2**31))
+        engine.fit(train)
+        correct = n = 0
+        joint = steps = 0
+        for seq in test.sequences:
+            pred = engine.predict(seq)
+            stats = engine.model_.last_stats
+            joint += stats.joint_states
+            steps += stats.steps
+            for rid in seq.resident_ids:
+                truth = seq.macro_labels(rid)
+                correct += sum(a == b for a, b in zip(truth, pred[rid]))
+                n += len(truth)
+        rows[residents] = {
+            "accuracy": correct / n,
+            "decode_seconds": engine.decode_seconds,
+            "mean_joint_states": joint / max(steps, 1),
+        }
+    return rows
+
+
+def test_occupancy_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, kwargs={"seed": 7}, rounds=1, iterations=1)
+    lines = ["Occupancy scaling (C2 strategy)"]
+    lines.append(f"{'residents':>10s} {'accuracy':>9s} {'decode':>8s} {'joint/step':>11s}")
+    for residents, row in rows.items():
+        lines.append(
+            f"{residents:10d} {row['accuracy'] * 100:8.1f}% "
+            f"{row['decode_seconds']:7.2f}s {row['mean_joint_states']:10.0f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("n_residents", text)
+
+    # Both occupancies must stay usable; the trellis must stay bounded.
+    assert rows[2]["accuracy"] > 0.75
+    assert rows[3]["accuracy"] > 0.6
+    assert rows[3]["mean_joint_states"] < 500

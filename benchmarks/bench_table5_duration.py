@@ -1,0 +1,29 @@
+"""Bench: Table V — start/end duration error per strategy.
+
+Paper: NH 16.9%, NCR 20.6%, NCS 7.72%, C2 8.1% — the constraint-mining
+models localise activity boundaries far better than the naive ones.
+"""
+
+from benchmarks.conftest import record, workload
+from repro.eval.experiments import table5_duration_error
+
+
+def test_table5_duration_error(benchmark):
+    params = workload()
+    result = benchmark.pedantic(
+        table5_duration_error,
+        kwargs={
+            "n_homes": params["n_homes"],
+            "sessions_per_home": params["sessions_per_home"],
+            "duration_s": params["duration_s"],
+            "seed": 17,
+            "strategies": ("nh", "ncr", "c2"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("table5", result.render())
+    r = result.results
+    assert r["c2"].duration_error < r["nh"].duration_error
+    assert r["c2"].duration_error < r["ncr"].duration_error

@@ -1,0 +1,59 @@
+"""CASAS-style multi-resident task recognition (ambient + postural only).
+
+Mirrors the paper's second evaluation corpus: resident pairs performing 15
+scripted ADL tasks (two performed jointly), observed by motion sensors and
+the phone's postural channel — no oral gestures, no iBeacons.  Compares the
+per-user HMM baseline against the full CACE engine and breaks out the
+shared tasks, where inter-user coupling shines.
+
+Run:  python examples/casas_multi_resident.py
+"""
+
+import numpy as np
+
+from repro.core import CaceEngine
+from repro.datasets import generate_casas_dataset, train_test_split
+from repro.datasets.casas import SHARED_TASKS
+from repro.eval.metrics import evaluate_predictions
+from repro.models import MacroHmm
+
+
+def flatten(test, predict_fn):
+    truth, predicted = [], []
+    for seq in test.sequences:
+        pred = predict_fn(seq)
+        for rid in seq.resident_ids:
+            truth.extend(seq.macro_labels(rid))
+            predicted.extend(pred[rid])
+    return truth, predicted
+
+
+def main() -> None:
+    print("Generating a CASAS-style corpus (6 pairs x 2 sessions, 15 tasks)...")
+    dataset = generate_casas_dataset(
+        n_pairs=6, sessions_per_pair=2, duration_scale=0.35, seed=99
+    )
+    train, test = train_test_split(dataset, 0.5, seed=4)
+    print(f"  {len(train)} training / {len(test)} test sessions; gestural data: "
+          f"{dataset.has_gestural}")
+
+    print("\nTraining per-user HMM baseline [9] and CACE (C2)...")
+    hmm = MacroHmm().fit(train)
+    cace = CaceEngine(strategy="c2", seed=17)
+    cace.fit(train)
+
+    for name, fn in (("HMM", hmm.predict), ("CACE", cace.predict)):
+        truth, predicted = flatten(test, fn)
+        report = evaluate_predictions(truth, predicted, list(dataset.macro_vocab))
+        truth_arr = np.array(truth, dtype=object)
+        pred_arr = np.array(predicted, dtype=object)
+        shared = np.isin(truth_arr, list(SHARED_TASKS))
+        shared_acc = float(np.mean(pred_arr[shared] == truth_arr[shared]))
+        print(f"\n{name}: overall accuracy {report.accuracy:.1%}, "
+              f"shared tasks (move furniture / play checkers) {shared_acc:.1%}")
+        if name == "CACE":
+            print(report.render())
+
+
+if __name__ == "__main__":
+    main()

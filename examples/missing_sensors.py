@@ -1,0 +1,75 @@
+"""Graceful degradation when wearable sensors drop out.
+
+The paper motivates handling "missing sensor values" (Related Works): a
+phone left on the charger, a neck tag with a flat battery.  The engine's
+factorised emission model marginalises absent channels exactly, so
+recognition degrades smoothly instead of collapsing.  This example
+corrupts a test session at increasing dropout rates and reports accuracy.
+
+Run:  python examples/missing_sensors.py
+"""
+
+import numpy as np
+
+from repro.core.engine import CaceEngine
+from repro.datasets.cace import generate_cace_dataset
+from repro.datasets.trace import (
+    ContextStep,
+    LabeledSequence,
+    ResidentObservation,
+    train_test_split,
+)
+
+
+def drop_wearables(seq: LabeledSequence, fraction: float, rng) -> LabeledSequence:
+    """Null the postural + feature channels on a fraction of steps."""
+    steps = []
+    for step in seq.steps:
+        observations = {}
+        for rid, obs in step.observations.items():
+            if rng.random() < fraction:
+                obs = ResidentObservation(
+                    posture=None,
+                    gesture=None,
+                    features=tuple(float("nan") for _ in obs.features),
+                    subloc_candidates=obs.subloc_candidates,
+                    position_estimate=obs.position_estimate,
+                )
+            observations[rid] = obs
+        steps.append(
+            ContextStep(
+                step.t, observations, step.rooms_fired, step.objects_fired, step.sublocs_fired
+            )
+        )
+    return LabeledSequence(seq.home_id, seq.resident_ids, seq.step_s, steps, seq.truths)
+
+
+def main() -> None:
+    dataset = generate_cace_dataset(
+        n_homes=2, sessions_per_home=4, duration_s=3000.0, seed=29
+    )
+    train, test = train_test_split(dataset, 0.7, seed=2)
+    engine = CaceEngine(strategy="c2", seed=5)
+    engine.fit(train)
+
+    rng = np.random.default_rng(1)
+    print(f"{'dropout':>8s} {'accuracy':>9s}")
+    for fraction in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        correct = n = 0
+        for seq in test.sequences:
+            corrupted = drop_wearables(seq, fraction, rng)
+            pred = engine.predict(corrupted)
+            for rid in seq.resident_ids:
+                truth = seq.macro_labels(rid)
+                correct += sum(a == b for a, b in zip(truth, pred[rid]))
+                n += len(truth)
+        print(f"{fraction:7.0%} {correct / n:8.1%}")
+
+    print(
+        "\neven at 100% wearable dropout the ambient channels (PIR, objects,"
+        " beacons) and the coupled structure keep recognition well above chance."
+    )
+
+
+if __name__ == "__main__":
+    main()

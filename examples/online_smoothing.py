@@ -1,0 +1,57 @@
+"""Online activity smoothing with bounded latency.
+
+The paper's conclusion proposes CACE "as a smoother of any online complex
+activity recognition framework".  This example streams a session step by
+step through the fixed-lag :class:`~repro.core.smoother.OnlineSmoother`
+and shows how the accuracy/latency trade-off moves with the lag: lag 0 is
+pure filtering (commit immediately), larger lags approach the offline
+Viterbi decode.
+
+Run:  python examples/online_smoothing.py
+"""
+
+import numpy as np
+
+from repro.core.engine import CaceEngine
+from repro.core.smoother import OnlineSmoother
+from repro.datasets.cace import generate_cace_dataset
+from repro.datasets.trace import train_test_split
+
+
+def accuracy(seq, labels) -> float:
+    pairs = [
+        (a, b)
+        for rid in labels
+        for a, b in zip(seq.macro_labels(rid), labels[rid])
+    ]
+    return float(np.mean([a == b for a, b in pairs]))
+
+
+def main() -> None:
+    dataset = generate_cace_dataset(
+        n_homes=2, sessions_per_home=4, duration_s=3000.0, seed=17
+    )
+    train, test = train_test_split(dataset, 0.7, seed=2)
+    engine = CaceEngine(strategy="c2", seed=5)
+    engine.fit(train)
+    seq = test.sequences[0]
+
+    offline = engine.predict(seq)
+    print(f"session: {len(seq)} steps x {seq.step_s:.0f}s")
+    print(f"offline Viterbi accuracy: {accuracy(seq, offline):.1%}\n")
+
+    print(f"{'lag':>5s} {'latency':>9s} {'accuracy':>9s}")
+    for lag in (0, 2, 4, 8, 16):
+        smoother = OnlineSmoother(engine.model_, lag=lag)
+        online = smoother.run(seq)
+        latency = lag * seq.step_s
+        print(f"{lag:5d} {latency:8.0f}s {accuracy(seq, online):8.1%}")
+
+    print(
+        "\nlag buys accuracy: each extra step of latency lets future"
+        " evidence veto a premature label, converging to the offline decode."
+    )
+
+
+if __name__ == "__main__":
+    main()

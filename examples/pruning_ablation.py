@@ -1,0 +1,29 @@
+"""Cost-accuracy trade-off of the four pruning strategies (Fig 11).
+
+Runs NH / NCR / NCS / C2 on the same corpus and reports accuracy, start/end
+duration error, and computational overhead — reproducing the paper's
+finding that mined correlations+constraints (C2) keep nearly all of the
+full coupled model's (NCS) accuracy at a fraction of its cost.
+
+Run:  python examples/pruning_ablation.py
+"""
+
+from repro.eval.experiments import fig11_pruning_strategies
+
+
+def main() -> None:
+    print("Running all four strategies (this builds four models; ~minutes)...\n")
+    result = fig11_pruning_strategies(
+        n_homes=2, sessions_per_home=4, duration_s=2100.0, seed=5
+    )
+    print(result.render())
+    print("\nReading the table:")
+    print("  - NH ignores hierarchy and coupling: cheap but inaccurate.")
+    print("  - NCR prunes per user only: rules misfire without partner context.")
+    print("  - NCS is the full coupled HDBN: most accurate, most expensive.")
+    print("  - C2 prunes NCS's joint space with mined rules: nearly NCS's")
+    print("    accuracy at a fraction of the decode cost.")
+
+
+if __name__ == "__main__":
+    main()

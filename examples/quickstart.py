@@ -1,0 +1,53 @@
+"""Quickstart: recognise multi-resident activities in a simulated smart home.
+
+Generates a small CACE-style corpus (two homes, two residents each), trains
+the full CACE engine (loosely-coupled HDBN + correlation/constraint mining),
+and decodes a held-out session.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CaceEngine
+from repro.datasets import generate_cace_dataset, train_test_split
+
+
+def main() -> None:
+    print("Generating a small CACE-style corpus (2 homes x 3 sessions)...")
+    dataset = generate_cace_dataset(
+        n_homes=2, sessions_per_home=3, duration_s=1800.0, seed=42
+    )
+    train, test = train_test_split(dataset, 0.67, seed=7)
+    print(f"  {len(train)} training / {len(test)} test sessions, "
+          f"{dataset.total_steps} labelled steps total")
+
+    print("\nTraining the CACE engine (strategy C2: correlations + constraints)...")
+    engine = CaceEngine(strategy="c2", seed=1)
+    engine.fit(train)
+    rules = engine.rule_set_
+    print(f"  mined {len(rules.forcing_rules)} forcing rules and "
+          f"{len(rules.exclusions)} exclusion rules "
+          f"in {engine.build_seconds:.2f}s")
+    print("  example rules:")
+    for line in rules.describe().splitlines()[:4]:
+        print(f"    {line}")
+
+    print("\nDecoding a held-out session...")
+    seq = test.sequences[0]
+    predicted = engine.predict(seq)
+    hits = total = 0
+    for rid in seq.resident_ids:
+        gold = seq.macro_labels(rid)
+        hits += sum(p == g for p, g in zip(predicted[rid], gold))
+        total += len(gold)
+    print(f"  macro-activity accuracy: {hits / total:.1%}")
+
+    rid = seq.resident_ids[0]
+    print(f"\nFirst minutes of {rid}'s morning (truth -> predicted):")
+    gold = seq.macro_labels(rid)
+    for t in range(0, min(12, len(seq))):
+        marker = "  " if gold[t] == predicted[rid][t] else "<-"
+        print(f"  t={seq.steps[t].t:7.1f}s  {gold[t]:>15s} -> {predicted[rid][t]:<15s} {marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Micro-level recognition from raw 9-axis IMU streams (paper §VI-D, §VII-E).
+
+Renders synthetic neck-tag and pocket-phone IMU signals for every micro
+activity class, fuses them into absolute acceleration trajectories
+(complementary filter + high-pass + gravity removal), extracts the paper's
+32 statistical features per 1.5 s frame (including Goertzel 1-5 Hz), and
+trains the from-scratch random forest — then smooths a mixed-activity
+stream with change-point detection.
+
+Run:  python examples/wearable_gestures.py
+"""
+
+from collections import Counter
+
+from repro.micro import MicroPipeline
+from repro.sensors.imu import ImuSimulator
+from repro.sensors.trajectory import absolute_acceleration
+
+
+def main() -> None:
+    for kind, paper_acc in (("postural", 0.986), ("gestural", 0.953)):
+        print(f"\n=== {kind} pipeline ===")
+        pipeline = MicroPipeline(kind=kind, seed=7, n_trees=15)
+        report = pipeline.train_and_evaluate(seconds_per_class=36.0)
+        print(report)
+        print(f"  paper: {paper_acc:.1%}")
+
+    # Streaming classification with change-point smoothing.
+    print("\n=== streaming a mixed oral-gesture session ===")
+    pipeline = MicroPipeline(kind="gestural", seed=13, n_trees=15)
+    feats, labels = pipeline.generate_dataset(seconds_per_class=30.0)
+    pipeline.train(feats, labels)
+
+    imu = ImuSimulator(seed=21)
+    script = [("silent", 12.0), ("talking", 15.0), ("eating", 15.0), ("silent", 9.0)]
+    samples, spans = imu.render_labelled("gestural", script)
+    trajectory = absolute_acceleration(samples)
+    decoded = pipeline.classify_stream(trajectory)
+    print(f"true spans: {[(lb, f'{a:.0f}-{b:.0f}s') for lb, a, b in spans]}")
+    print(f"decoded frame labels ({len(decoded)} frames):")
+    print("  " + " ".join(f"{lb[:3]}" for lb in decoded))
+    print(f"label mix: {dict(Counter(decoded))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment``
+    Regenerate one of the paper's tables/figures and print its rows
+    (``table4``, ``table5``, ``fig8a``, ``fig8b``, ``fig9``, ``fig10``,
+    ``fig11``, ``fig12``, ``micro``).
+``generate``
+    Produce a synthetic corpus (``cace`` or ``casas``) and write it as
+    JSON for later runs.
+``mine``
+    Mine correlation rules from a stored corpus and save/print them.
+``recognize``
+    Train on one stored corpus, decode another (or a held-out split), and
+    report accuracy metrics.
+
+Every command accepts ``--seed`` for reproducibility; workloads default to
+small sizes so a laptop run finishes in seconds to minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.rng import ensure_rng
+
+#: experiment name -> (callable path, default kwargs)
+_EXPERIMENTS = {
+    "micro": ("micro_level_results", {}),
+    "table4": ("table4_rules", {}),
+    "table5": ("table5_duration_error", {}),
+    "fig8a": ("fig8a_context_ablation", {}),
+    "fig8b": ("fig8b_cost_curves", {}),
+    "fig9": ("fig9_casas_per_class", {}),
+    "fig10": ("fig10_model_comparison", {}),
+    "fig11": ("fig11_pruning_strategies", {}),
+    "fig12": ("fig12_incremental", {}),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CACE (ICDCS 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--seed", type=int, default=7)
+    exp.add_argument("--homes", type=int, default=None, help="CACE homes / CASAS pairs")
+    exp.add_argument("--sessions", type=int, default=None)
+    exp.add_argument("--duration", type=float, default=None, help="session seconds")
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus as JSON")
+    gen.add_argument("corpus", choices=["cace", "casas"])
+    gen.add_argument("output", help="output JSON path")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--homes", type=int, default=3, help="CACE homes / CASAS pairs")
+    gen.add_argument("--sessions", type=int, default=4)
+    gen.add_argument("--duration", type=float, default=3600.0)
+    gen.add_argument("--residents", type=int, default=2, help="residents per CACE home")
+
+    mine = sub.add_parser("mine", help="mine correlation rules from a stored corpus")
+    mine.add_argument("corpus", help="corpus JSON path")
+    mine.add_argument("--output", help="rule-set JSON path (prints rules otherwise)")
+    mine.add_argument("--min-support", type=float, default=0.04)
+    mine.add_argument("--min-confidence", type=float, default=0.99)
+
+    rec = sub.add_parser("recognize", help="train + evaluate on a stored corpus")
+    rec.add_argument("corpus", help="corpus JSON path")
+    rec.add_argument("--strategy", choices=["nh", "ncr", "ncs", "c2"], default="c2")
+    rec.add_argument("--train-fraction", type=float, default=0.7)
+    rec.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments as exp_mod
+
+    func_name, defaults = _EXPERIMENTS[args.name]
+    func = getattr(exp_mod, func_name)
+    kwargs = dict(defaults)
+    kwargs["seed"] = args.seed
+    if args.name == "fig9":
+        if args.homes is not None:
+            kwargs["n_pairs"] = args.homes
+        if args.sessions is not None:
+            kwargs["sessions_per_pair"] = args.sessions
+    elif args.name != "micro":
+        if args.homes is not None:
+            kwargs["n_homes"] = args.homes
+        if args.sessions is not None:
+            kwargs["sessions_per_home"] = args.sessions
+        if args.duration is not None:
+            kwargs["duration_s"] = args.duration
+    result = func(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    from repro.util.serialization import save_dataset
+
+    if args.corpus == "cace":
+        from repro.datasets.cace import generate_cace_dataset
+
+        dataset = generate_cace_dataset(
+            n_homes=args.homes,
+            sessions_per_home=args.sessions,
+            duration_s=args.duration,
+            residents_per_home=args.residents,
+            seed=args.seed,
+        )
+    else:
+        from repro.datasets.casas import generate_casas_dataset
+
+        dataset = generate_casas_dataset(
+            n_pairs=args.homes,
+            sessions_per_pair=args.sessions,
+            seed=args.seed,
+        )
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {dataset.name}: {len(dataset.sequences)} sequences, "
+        f"{dataset.total_steps} steps -> {args.output}"
+    )
+    return 0
+
+
+def _run_mine(args: argparse.Namespace) -> int:
+    from repro.mining.correlation_miner import CorrelationMiner
+    from repro.util.serialization import load_dataset, save_rule_set
+
+    dataset = load_dataset(args.corpus)
+    miner = CorrelationMiner(
+        min_support=args.min_support, min_confidence=args.min_confidence
+    )
+    rule_set = miner.mine(dataset.sequences)
+    if args.output:
+        save_rule_set(rule_set, args.output)
+        print(f"wrote {rule_set.n_rules} rules -> {args.output}")
+    else:
+        print(rule_set.describe(limit=40))
+        print(f"({rule_set.n_rules} rules total)")
+    return 0
+
+
+def _run_recognize(args: argparse.Namespace) -> int:
+    from repro.core.engine import CaceEngine
+    from repro.datasets.trace import train_test_split
+    from repro.eval.experiments import evaluate_engine
+    from repro.util.serialization import load_dataset
+
+    dataset = load_dataset(args.corpus)
+    rng = ensure_rng(args.seed)
+    train, test = train_test_split(
+        dataset, args.train_fraction, seed=rng.integers(0, 2**31)
+    )
+    engine = CaceEngine(strategy=args.strategy, seed=rng.integers(0, 2**31))
+    engine.fit(train)
+    report = evaluate_engine(engine, test)
+    print(report.render())
+    print(
+        f"build {engine.build_seconds:.2f}s, decode {engine.decode_seconds:.2f}s "
+        f"({args.strategy} on {len(test.sequences)} test sequences)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _run_experiment,
+        "generate": _run_generate,
+        "mine": _run_mine,
+        "recognize": _run_recognize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

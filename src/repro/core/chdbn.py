@@ -1,0 +1,597 @@
+"""Coupled Hierarchical Dynamic Bayesian Network (the CACE model).
+
+Implements the loosely-coupled HDBN of §IV/§VI over the hidden joint state
+``(m1, l1, m2, l2)`` (macro activity + sub-location per resident), with:
+
+* **End-of-sequence-marker semantics (Eqns 3-6).**  A macro state may only
+  change when its micro sequence terminates (blocking), and a micro
+  sequence cannot outlive its macro (termination).  Flattened, this yields:
+  within a macro, the sub-location chain evolves by the mined per-macro
+  micro transition with per-step end probability; on a macro change the
+  micro chain *resets* from the new macro's prior (Augmentations 1-3).
+* **Coupled macro transitions** ``P(m' | m, partner_m)`` (Augmentation 3),
+  shrunk toward the uncoupled table where data is sparse.
+* **Gaussian-mixture emissions** per macro over the continuous feature
+  vector, with components discovered by deterministic annealing
+  (Augmentation 4), alongside CPTs for the observed postural/gestural
+  micro context, iBeacon soft location evidence, and PIR room
+  compatibility.
+* **Correlation pruning.**  When a rule set is supplied, per-user candidate
+  states are filtered by single-user rules and joint candidates by
+  cross-user rules/exclusions — the paper's state-space reduction, and the
+  source of its ~16x overhead gain.
+
+Decoding is exact joint Viterbi over the per-step candidate trellis with
+numpy-vectorised transition blocks; posterior marginals use the same
+machinery with sum-product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.emissions import object_log_evidence, user_state_emissions
+from repro.core.state_space import StateSpaceBuilder, UserState, _ROOM_OF
+from repro.datasets.trace import Dataset, LabeledSequence
+from repro.micro.annealing import DeterministicAnnealing
+from repro.mining.constraint_miner import ConstraintModel
+from repro.mining.correlation_miner import CorrelationRuleSet
+from repro.models.chmm import soft_location_log_evidence
+from repro.util.rng import RandomState, ensure_rng
+
+_TINY = 1e-12
+#: Log penalty for hypothesising a sub-location whose room shows no PIR
+#: activity while other rooms do (PIRs miss stationary residents).
+_PIR_MISS_PENALTY = -1.5
+
+
+@dataclass
+class DecodeStats:
+    """Work accounting for one decoded sequence (overhead metrics)."""
+
+    steps: int = 0
+    joint_states: int = 0
+    transition_entries: int = 0
+    pruned_joint_states: int = 0
+
+    @property
+    def mean_joint_states(self) -> float:
+        """Average joint-candidate count per step."""
+        return self.joint_states / max(self.steps, 1)
+
+
+@dataclass
+class _MacroGmm:
+    """Per-macro Gaussian mixture over emission features (Augmentation 4)."""
+
+    weights: np.ndarray
+    means: np.ndarray
+    inv_covs: np.ndarray
+    logdets: np.ndarray
+
+    def log_pdf(self, x: np.ndarray) -> float:
+        d = x.shape[0]
+        diffs = x[None, :] - self.means  # (K, d)
+        quads = np.einsum("ki,kij,kj->k", diffs, self.inv_covs, diffs)
+        comps = (
+            np.log(self.weights + _TINY)
+            - 0.5 * (d * np.log(2 * np.pi) + self.logdets + quads)
+        )
+        m = comps.max()
+        return float(m + np.log(np.exp(comps - m).sum()))
+
+
+def fit_object_cpt(
+    train: Dataset, constraint_model: ConstraintModel, alpha: float = 1.0
+) -> Tuple[Dict[str, int], np.ndarray]:
+    """Bernoulli object-evidence model ``P(object fires | macro)``.
+
+    Object sensors are unattributed — the partner's stove firing counts
+    against *my* macro too — but the counted statistics absorb that
+    confound and still separate e.g. cooking (stove) from prepare_food
+    (kettle), the two activities the paper reports as hardest.
+
+    Returns ``(object_index, log_table)`` with ``log_table[m, o, fired]``.
+    """
+    objects = sorted(
+        {obj for seq in train.sequences for step in seq.steps for obj in step.objects_fired}
+    )
+    object_index = {obj: i for i, obj in enumerate(objects)}
+    n_m = constraint_model.n_macro
+    counts = np.full((n_m, max(len(objects), 1), 2), alpha, dtype=float)
+    for seq in train.sequences:
+        for rid in seq.resident_ids:
+            for step, truth in zip(seq.steps, seq.truths):
+                m = constraint_model.macro_index.index(truth[rid].macro)
+                for obj, o in object_index.items():
+                    counts[m, o, 1 if obj in step.objects_fired else 0] += 1
+    probs = counts / counts.sum(axis=2, keepdims=True)
+    return object_index, np.log(probs)
+
+
+def fit_macro_gmms(
+    train: Dataset,
+    constraint_model: ConstraintModel,
+    n_components: int,
+    rng: np.random.Generator,
+) -> Dict[int, _MacroGmm]:
+    """Per-macro Gaussian mixtures with DA-discovered means.
+
+    Component means come from deterministic annealing (Augmentation 4's
+    low-level state discovery); all components of a macro share the pooled
+    within-macro covariance.  Session-level feature drift means test points
+    land *between* narrow DA clusters, and the shared broad covariance
+    keeps the feature channel honest about that uncertainty instead of
+    issuing catastrophic log penalties.
+    """
+    by_macro: Dict[int, List[np.ndarray]] = {}
+    for seq in train.sequences:
+        for rid in seq.resident_ids:
+            for step, truth in zip(seq.steps, seq.truths):
+                m = constraint_model.macro_index.index(truth[rid].macro)
+                by_macro.setdefault(m, []).append(
+                    np.asarray(step.observations[rid].features, dtype=float)
+                )
+    gmms: Dict[int, _MacroGmm] = {}
+    for m, rows in by_macro.items():
+        x = np.vstack(rows)
+        da = DeterministicAnnealing(
+            n_clusters=min(n_components, x.shape[0]),
+            seed=rng.integers(0, 2**31),
+        )
+        means, covs, labels = da.fit_gaussians(x)
+        counts = np.bincount(labels, minlength=means.shape[0]).astype(float)
+        weights = counts / counts.sum()
+        dim = x.shape[1]
+        pooled = np.atleast_2d(np.cov(x.T)) if x.shape[0] > 1 else np.eye(dim)
+        pooled = pooled + 1e-4 * np.eye(dim)
+        inv_pooled = np.linalg.inv(pooled)
+        logdet = np.linalg.slogdet(pooled)[1]
+        inv_covs = np.broadcast_to(inv_pooled, covs.shape).copy()
+        logdets = np.full(means.shape[0], logdet)
+        gmms[m] = _MacroGmm(weights, means, inv_covs, logdets)
+    return gmms
+
+
+@dataclass
+class CoupledHdbn:
+    """The loosely-coupled HDBN recogniser for a resident pair.
+
+    Parameters
+    ----------
+    constraint_model:
+        Output of the constraint miner (probabilistic structure).
+    rule_set:
+        Output of the correlation miner; ``None`` disables correlation
+        pruning (the paper's NCS strategy).
+    prune_per_user / prune_cross:
+        Which rule classes to apply (NCR uses per-user only).
+    gmm_components:
+        Deterministic-annealing codebook size per macro.
+    max_joint_states:
+        Safety cap per step; candidates beyond it are dropped by emission
+        score (logged in :class:`DecodeStats`).
+    """
+
+    constraint_model: ConstraintModel
+    rule_set: Optional[CorrelationRuleSet] = None
+    prune_per_user: bool = True
+    prune_cross: bool = True
+    gmm_components: int = 4
+    max_states_per_user: int = 36
+    max_joint_states: int = 2000
+    #: When correlation pruning is active, surviving joint candidates are
+    #: further capped to the best-scoring K — the paper's probabilistic
+    #: pruning of "very unlikely state sequences" that buys the 16x.
+    #: Accuracy is flat down to ~70 on the CACE corpus (the rules really do
+    #: isolate the plausible joint states); 100 leaves safety margin.
+    max_joint_states_pruned: int = 100
+    min_change_prob: float = 1e-4
+    use_feature_gmm: bool = True
+    pir_miss_penalty: float = _PIR_MISS_PENALTY
+    #: Joint explaining-away: log cost of a fired area-motion sensor that
+    #: *neither* resident's hypothesis covers (~log of the per-window false
+    #: alarm probability).  This is where multiple occupancy becomes an
+    #: asset: "partner is in the kitchen" explains the kitchen firing, so I
+    #: don't have to be there — and an area nobody claims votes against the
+    #: whole joint assignment, not against either resident alone.
+    unexplained_subloc_penalty: float = -4.5
+    #: Same idea at room granularity for PIR fleets (milder: rooms keep
+    #: firing briefly after the occupant walks out of a 15 s window).
+    unexplained_room_penalty: float = -2.5
+    #: Log penalty per violated *soft* exclusion.  Defaults to 0: the
+    #: coupled transition CPTs already carry behavioural negative
+    #: correlation, and an extra per-step penalty double-counts it (it cost
+    #: 1-5 accuracy points in ablations).  Exposed for experimentation.
+    soft_exclusion_penalty: float = 0.0
+    seed: RandomState = None
+    builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
+    gmms_: Dict[int, _MacroGmm] = field(default_factory=dict, init=False, repr=False)
+    last_stats: DecodeStats = field(default_factory=DecodeStats, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(self.seed)
+        # The builder over-generates; emission evidence picks the survivors.
+        self.builder = StateSpaceBuilder(
+            constraint_model=self.constraint_model,
+            max_states_per_user=4 * self.max_states_per_user,
+        )
+        self._single_rules = self.rule_set.single_user() if self.rule_set else None
+        self._cross_rules = self.rule_set.cross_user() if self.rule_set else None
+        cm = self.constraint_model
+        # macro_end_prob is counted per step, so it already reflects the
+        # blocking constraint (macro segments end only at micro boundaries);
+        # multiplying in micro_end_prob again would double-count.
+        self._p_change = np.clip(cm.macro_end_prob, self.min_change_prob, 0.5)
+        # Off-diagonal renormalised coupled transition: given a change
+        # happens, where does the macro go (conditioned on the partner)?
+        coupled = cm.macro_trans_coupled.copy()
+        n_m = cm.n_macro
+        diag = coupled[np.arange(n_m), :, np.arange(n_m)]  # (M, M) -> [m, partner]
+        coupled[np.arange(n_m), :, np.arange(n_m)] = 0.0
+        row = coupled.sum(axis=2, keepdims=True)
+        self._change_trans = coupled / np.maximum(row, _TINY)
+        # Evidence terms use the per-step *occupancy* tables: segment-start
+        # priors see one count per segment and smooth to near-uniform,
+        # which silently removes the posture/gesture/location channels.
+        self._log_posture = np.log(cm.posture_occupancy + _TINY)
+        self._log_gesture = (
+            np.log(cm.gesture_occupancy + _TINY)
+            if cm.gesture_occupancy is not None
+            else None
+        )
+        self._log_subloc_prior = np.log(cm.subloc_prior + _TINY)
+        self._log_subloc_occ = np.log(cm.subloc_occupancy + _TINY)
+        self._subloc_trans = cm.subloc_trans
+        self._micro_end = cm.micro_end_prob
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, train: Dataset) -> "CoupledHdbn":
+        """Fit emissions: DA Gaussian mixtures + object-evidence CPT."""
+        self.gmms_ = fit_macro_gmms(
+            train, self.constraint_model, self.gmm_components, self._rng
+        )
+        self._object_index, self._log_obj = fit_object_cpt(train, self.constraint_model)
+        return self
+
+    # -- per-step machinery ----------------------------------------------------------
+
+    def _user_candidates(
+        self, seq: LabeledSequence, rid: str, t: int
+    ) -> Tuple[List[UserState], np.ndarray]:
+        """Candidate states and their emissions, evidence-truncated."""
+        obs = seq.steps[t].observations[rid]
+        states = self.builder.candidate_states(obs)
+        if self._single_rules is not None and self.prune_per_user:
+            amb = self.builder.ambient_item_set(seq.steps[t])
+            kept = [
+                s
+                for s in states
+                if self._single_rules.is_consistent(
+                    self.builder.state_item_set("u1", s, obs) | amb
+                )
+            ]
+            if kept:
+                states = kept
+        emissions = self._user_emissions(seq, rid, t, states)
+        if len(states) > self.max_states_per_user:
+            top = np.argsort(emissions)[::-1][: self.max_states_per_user]
+            states = [states[i] for i in top]
+            emissions = emissions[top]
+        return states, emissions
+
+    def _user_emissions(
+        self, seq: LabeledSequence, rid: str, t: int, states: List[UserState]
+    ) -> np.ndarray:
+        return user_state_emissions(self, seq, rid, t, states)
+
+    def _joint_candidates(
+        self,
+        seq: LabeledSequence,
+        t: int,
+        s1: List[UserState],
+        s2: List[UserState],
+        e1: np.ndarray,
+        e2: np.ndarray,
+        rids: Tuple[str, str],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Index pairs (i1, i2) into s1 x s2 after cross-user pruning."""
+        n1, n2 = len(s1), len(s2)
+        pairs = np.indices((n1, n2)).reshape(2, -1).T  # (n1*n2, 2)
+        if self._cross_rules is not None and self.prune_cross:
+            keep = self._cross_prune_mask(seq, t, s1, s2, rids)
+            mask = keep[pairs[:, 0], pairs[:, 1]]
+            self.last_stats.pruned_joint_states += int((~mask).sum())
+            if mask.any():
+                pairs = pairs[mask]
+        scores = e1[pairs[:, 0]] + e2[pairs[:, 1]]
+        scores = scores + self._coverage_penalty(seq.steps[t], s1, s2, pairs)
+        if self._cross_rules is not None and self.prune_cross:
+            scores = scores + self._soft_exclusion_penalty(
+                seq.steps[t], s1, s2, pairs, rids
+            )
+        cap = self.max_joint_states
+        if self.rule_set is not None and self.prune_cross:
+            cap = min(cap, self.max_joint_states_pruned)
+        if pairs.shape[0] > cap:
+            top = np.argsort(scores)[::-1][:cap]
+            pairs = pairs[top]
+            scores = scores[top]
+        return pairs[:, 0], pairs[:, 1], scores
+
+    def _coverage_penalty(
+        self,
+        step,
+        s1: List[UserState],
+        s2: List[UserState],
+        pairs: np.ndarray,
+    ) -> np.ndarray:
+        """Per-pair log penalty for fired areas no hypothesis explains."""
+        loc1 = np.array([s.subloc for s in s1], dtype=object)
+        loc2 = np.array([s.subloc for s in s2], dtype=object)
+        out = np.zeros(pairs.shape[0])
+        for fired in step.sublocs_fired:
+            covered = (loc1[pairs[:, 0]] == fired) | (loc2[pairs[:, 1]] == fired)
+            out += np.where(covered, 0.0, self.unexplained_subloc_penalty)
+        if not step.sublocs_fired and step.rooms_fired:
+            room1 = np.array([_ROOM_OF.get(s.subloc) for s in s1], dtype=object)
+            room2 = np.array([_ROOM_OF.get(s.subloc) for s in s2], dtype=object)
+            for fired in step.rooms_fired:
+                covered = (room1[pairs[:, 0]] == fired) | (room2[pairs[:, 1]] == fired)
+                out += np.where(covered, 0.0, self.unexplained_room_penalty)
+        return out
+
+    def _soft_exclusion_penalty(
+        self,
+        step,
+        s1: List[UserState],
+        s2: List[UserState],
+        pairs: np.ndarray,
+        rids: Tuple[str, str],
+    ) -> np.ndarray:
+        """Per-pair penalty for joint states that break soft exclusions."""
+        soft = self._cross_rules.soft_exclusions
+        if not soft:
+            return np.zeros(pairs.shape[0])
+        obs1 = step.observations[rids[0]]
+        obs2 = step.observations[rids[1]]
+        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
+        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
+        penalty = np.zeros((len(s1), len(s2)))
+        for excl in soft:
+            a, b = excl.a, excl.b
+            if a.slot != "u1" or b.slot != "u2":
+                continue
+            has_a = np.array([a in it for it in items1])
+            has_b = np.array([b in it for it in items2])
+            penalty += np.outer(has_a, has_b) * self.soft_exclusion_penalty
+        return penalty[pairs[:, 0], pairs[:, 1]]
+
+    def _cross_prune_mask(
+        self,
+        seq: LabeledSequence,
+        t: int,
+        s1: List[UserState],
+        s2: List[UserState],
+        rids: Tuple[str, str],
+    ) -> np.ndarray:
+        """(|s1|, |s2|) boolean mask of joint states consistent with the
+        cross-user rules, evaluated with per-rule outer products instead of
+        per-pair item-set unions (the pruning must be cheaper than the
+        trellis work it saves)."""
+        step = seq.steps[t]
+        amb = self.builder.ambient_item_set(step)
+        obs1 = step.observations[rids[0]]
+        obs2 = step.observations[rids[1]]
+        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
+        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
+        keep = np.ones((len(s1), len(s2)), dtype=bool)
+
+        for excl in self._cross_rules.hard_exclusions:
+            a, b = excl.a, excl.b
+            has_a = np.array([a in it for it in items1]) if a.slot == "u1" else None
+            has_b = np.array([b in it for it in items2]) if b.slot == "u2" else None
+            if has_a is None or has_b is None:
+                continue
+            keep &= ~np.outer(has_a, has_b)
+
+        for rule in self._cross_rules.forcing_rules:
+            ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
+            ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
+            ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
+            if not ant_amb <= amb:
+                continue
+            sat1 = np.array([ant1 <= it for it in items1])
+            sat2 = np.array([ant2 <= it for it in items2])
+            cons = rule.consequent
+            key = (cons.time, cons.attr)
+            if cons.slot == "u1":
+                viol = np.array(
+                    [
+                        any(
+                            (i.time, i.attr) == key and i.value != cons.value
+                            for i in it
+                        )
+                        and cons not in it
+                        for it in items1
+                    ]
+                )
+                keep &= ~np.outer(sat1 & viol, sat2)
+            elif cons.slot == "u2":
+                viol = np.array(
+                    [
+                        any(
+                            (i.time, i.attr) == key and i.value != cons.value
+                            for i in it
+                        )
+                        and cons not in it
+                        for it in items2
+                    ]
+                )
+                keep &= ~np.outer(sat1, sat2 & viol)
+        return keep
+
+    def _transition_block(
+        self,
+        prev: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        cur: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """(P, C) joint log transition between candidate sets."""
+        m1p, l1p, m2p, l2p = prev
+        m1c, l1c, m2c, l2c = cur
+        log_t = self._chain_block(m1p, l1p, m2p, m1c, l1c)
+        log_t += self._chain_block(m2p, l2p, m1p, m2c, l2c)
+        return log_t
+
+    def _chain_block(
+        self,
+        m_prev: np.ndarray,
+        l_prev: np.ndarray,
+        partner_prev: np.ndarray,
+        m_cur: np.ndarray,
+        l_cur: np.ndarray,
+    ) -> np.ndarray:
+        """One chain's (P, C) contribution to the joint transition."""
+        same = m_prev[:, None] == m_cur[None, :]
+        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
+        log_change = (
+            np.log(self._p_change[m_prev])[:, None]
+            + np.log(
+                self._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
+                + _TINY
+            )
+        )
+        macro_term = np.where(same, log_stay, log_change)
+
+        micro_end = self._micro_end[m_cur][None, :]
+        same_loc = l_prev[:, None] == l_cur[None, :]
+        cont = np.log(
+            (1.0 - micro_end) * same_loc
+            + micro_end * self._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
+            + _TINY
+        )
+        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
+        loc_term = np.where(same, cont, reset)
+        return macro_term + loc_term
+
+    def _encode(
+        self, s1: List[UserState], s2: List[UserState], i1: np.ndarray, i2: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cm = self.constraint_model
+        m1 = np.array([cm.macro_index.index(s1[i].macro) for i in i1], dtype=int)
+        l1 = np.array([cm.subloc_index.index(s1[i].subloc) for i in i1], dtype=int)
+        m2 = np.array([cm.macro_index.index(s2[i].macro) for i in i2], dtype=int)
+        l2 = np.array([cm.subloc_index.index(s2[i].subloc) for i in i2], dtype=int)
+        return m1, l1, m2, l2
+
+    # -- decoding -----------------------------------------------------------------------
+
+    def _prepare(self, seq: LabeledSequence):
+        rids = tuple(seq.resident_ids[:2])
+        if len(rids) < 2:
+            raise ValueError("CoupledHdbn expects two residents (use SingleUserHdbn)")
+        self.last_stats = DecodeStats()
+        stats = self.last_stats
+        per_step = []
+        for t in range(len(seq)):
+            s1, e1 = self._user_candidates(seq, rids[0], t)
+            s2, e2 = self._user_candidates(seq, rids[1], t)
+            i1, i2, scores = self._joint_candidates(seq, t, s1, s2, e1, e2, rids)
+            enc = self._encode(s1, s2, i1, i2)
+            per_step.append((s1, s2, i1, i2, scores, enc))
+            stats.steps += 1
+            stats.joint_states += len(i1)
+        return rids, per_step
+
+    def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """Joint Viterbi macro labels per resident."""
+        rids, per_step = self._prepare(seq)
+        cm = self.constraint_model
+        stats = self.last_stats
+
+        s1, s2, i1, i2, scores, enc = per_step[0]
+        log_prior = (
+            np.log(cm.macro_prior[enc[0]] + _TINY)
+            + self._log_subloc_prior[enc[0], enc[1]]
+            + np.log(cm.macro_prior[enc[2]] + _TINY)
+            + self._log_subloc_prior[enc[2], enc[3]]
+        )
+        delta = log_prior + scores
+        backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
+
+        for t in range(1, len(per_step)):
+            prev_enc = per_step[t - 1][5]
+            s1, s2, i1, i2, scores, enc = per_step[t]
+            log_t = self._transition_block(prev_enc, enc)
+            stats.transition_entries += log_t.size
+            total = delta[:, None] + log_t
+            back = np.argmax(total, axis=0)
+            delta = total[back, np.arange(total.shape[1])] + scores
+            backs.append(back)
+
+        idx = int(np.argmax(delta))
+        path: List[int] = [idx]
+        for t in range(len(per_step) - 1, 0, -1):
+            path.append(int(backs[t][path[-1]]))
+        path.reverse()
+
+        out1: List[str] = []
+        out2: List[str] = []
+        for t, j in enumerate(path):
+            s1, s2, i1, i2, _, _ = per_step[t]
+            out1.append(s1[i1[j]].macro)
+            out2.append(s2[i2[j]].macro)
+        return {rids[0]: out1, rids[1]: out2}
+
+    def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+        """Per-resident posterior macro marginals ``(T, M)``."""
+        rids, per_step = self._prepare(seq)
+        cm = self.constraint_model
+        n_m = cm.n_macro
+
+        def lse(arr: np.ndarray, axis: int) -> np.ndarray:
+            m = arr.max(axis=axis, keepdims=True)
+            m = np.where(np.isfinite(m), m, 0.0)
+            return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
+
+        # Forward.
+        alphas: List[np.ndarray] = []
+        s1, s2, i1, i2, scores, enc = per_step[0]
+        alpha = (
+            np.log(cm.macro_prior[enc[0]] + _TINY)
+            + self._log_subloc_prior[enc[0], enc[1]]
+            + np.log(cm.macro_prior[enc[2]] + _TINY)
+            + self._log_subloc_prior[enc[2], enc[3]]
+            + scores
+        )
+        alphas.append(alpha)
+        for t in range(1, len(per_step)):
+            prev_enc = per_step[t - 1][5]
+            _, _, _, _, scores, enc = per_step[t]
+            log_t = self._transition_block(prev_enc, enc)
+            alpha = scores + lse(alphas[-1][:, None] + log_t, axis=0)
+            alphas.append(alpha)
+
+        # Backward.
+        betas: List[Optional[np.ndarray]] = [None] * len(per_step)
+        betas[-1] = np.zeros_like(alphas[-1])
+        for t in range(len(per_step) - 2, -1, -1):
+            enc = per_step[t][5]
+            nxt_scores, nxt_enc = per_step[t + 1][4], per_step[t + 1][5]
+            log_t = self._transition_block(enc, nxt_enc)
+            betas[t] = lse(log_t + (nxt_scores + betas[t + 1])[None, :], axis=1)
+
+        out = {rids[0]: np.zeros((len(per_step), n_m)), rids[1]: np.zeros((len(per_step), n_m))}
+        for t in range(len(per_step)):
+            log_gamma = alphas[t] + betas[t]
+            log_gamma -= lse(log_gamma, axis=0)
+            gamma = np.exp(log_gamma)
+            enc = per_step[t][5]
+            np.add.at(out[rids[0]][t], enc[0], gamma)
+            np.add.at(out[rids[1]][t], enc[2], gamma)
+        return out

@@ -1,0 +1,95 @@
+"""Start/end duration error (Table V's metric, after Tapia et al. [20]).
+
+The paper: "consider that the true duration of cooking is 30 minutes
+(10:05-10:35) and our algorithm predicts 10:10-10:39; then the start/end
+duration error is 9 minutes (|5 min delayed start| + |4 min hastened end|),
+an overall error of 30% (9/30)."  Predicted activity intervals are matched
+to ground-truth intervals of the same label by maximal overlap (the "best
+interval" approach), and the error is averaged over true segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of one activity label, in seconds."""
+
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.end - self.start
+
+    def overlap(self, other: "Segment") -> float:
+        """Overlap length with another segment."""
+        return max(0.0, min(self.end, other.end) - max(self.start, other.start))
+
+
+def extract_segments(labels: Sequence[str], step_s: float) -> List[Segment]:
+    """Collapse a per-step label sequence into maximal segments."""
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    segments: List[Segment] = []
+    start = 0
+    for i in range(1, len(labels) + 1):
+        if i == len(labels) or labels[i] != labels[start]:
+            segments.append(Segment(labels[start], start * step_s, i * step_s))
+            start = i
+    return segments
+
+
+def match_segments(
+    truth: List[Segment], predicted: List[Segment]
+) -> List[Tuple[Segment, Optional[Segment]]]:
+    """Best-interval matching: each true segment gets the same-label
+    predicted segment with maximal overlap (or None)."""
+    out: List[Tuple[Segment, Optional[Segment]]] = []
+    for true_seg in truth:
+        best: Optional[Segment] = None
+        best_overlap = 0.0
+        for pred_seg in predicted:
+            if pred_seg.label != true_seg.label:
+                continue
+            ov = true_seg.overlap(pred_seg)
+            if ov > best_overlap:
+                best_overlap = ov
+                best = pred_seg
+        out.append((true_seg, best))
+    return out
+
+
+def duration_error(
+    true_labels: Sequence[str],
+    predicted_labels: Sequence[str],
+    step_s: float,
+    exclude: Sequence[str] = ("random",),
+) -> float:
+    """Mean relative start/end duration error over true segments.
+
+    Unmatched true segments (activity never predicted with overlap) count
+    as full misses (error 1.0).  Labels in *exclude* — the paper's filler
+    "random" class — are not scored.
+    """
+    if len(true_labels) != len(predicted_labels):
+        raise ValueError("label sequences must align")
+    truth = [s for s in extract_segments(true_labels, step_s) if s.label not in exclude]
+    predicted = extract_segments(predicted_labels, step_s)
+    if not truth:
+        return 0.0
+    errors: List[float] = []
+    for true_seg, match in match_segments(truth, predicted):
+        if match is None:
+            errors.append(1.0)
+            continue
+        err = (abs(match.start - true_seg.start) + abs(match.end - true_seg.end)) / max(
+            true_seg.duration, 1e-9
+        )
+        errors.append(min(err, 1.0))
+    return float(sum(errors) / len(errors))

@@ -1,0 +1,125 @@
+"""Shared per-state emission scoring for the HDBN family.
+
+All three recognisers (single-user HDBN, coupled pair HDBN, N-chain HDBN)
+score a hypothesised ``(macro, subloc)`` state against one resident's
+step evidence in exactly the same way:
+
+* observed postural / oral-gestural micro context via per-macro occupancy
+  CPTs (the tier-1 wearable classifiers' outputs);
+* the continuous feature vector via per-macro Gaussian mixtures whose
+  components come from deterministic annealing (Augmentation 4);
+* unattributed object-sensor evidence via per-macro Bernoulli CPTs;
+* soft location evidence from the fused iBeacon / ambient candidate set,
+  a per-step ``log P(subloc | macro)`` occupancy coupling, and a penalty
+  for hypothesising a room whose PIR is silent while others fire.
+
+Missing-modality robustness: any individual channel may be absent at a
+given step (``posture=None``, ``gesture=None``, NaNs in the feature
+vector) — the corresponding term is simply dropped, which is exact
+marginalisation under the model's factorised emission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol
+
+import numpy as np
+
+from repro.core.state_space import UserState, _ROOM_OF
+from repro.datasets.trace import LabeledSequence
+from repro.models.chmm import soft_location_log_evidence
+
+
+class EmissionScorer(Protocol):
+    """What a recogniser must expose for :func:`user_state_emissions`.
+
+    ``CoupledHdbn``, ``SingleUserHdbn`` and ``NChainHdbn`` all satisfy this
+    protocol structurally; the attributes are filled during construction /
+    ``fit``.
+    """
+
+    constraint_model: object
+    use_feature_gmm: bool
+    pir_miss_penalty: float
+    gmms_: Dict[int, object]
+
+
+def object_log_evidence(
+    object_index: Dict[str, int],
+    log_table: np.ndarray,
+    macro_idx: int,
+    objects_fired,
+) -> float:
+    """Sum of per-object Bernoulli log likelihoods for one macro."""
+    if not object_index:
+        return 0.0
+    total = 0.0
+    for obj, o in object_index.items():
+        total += log_table[macro_idx, o, 1 if obj in objects_fired else 0]
+    return float(total)
+
+
+def user_state_emissions(
+    model: EmissionScorer,
+    seq: LabeledSequence,
+    rid: str,
+    t: int,
+    states: List[UserState],
+) -> np.ndarray:
+    """Log emission score of each candidate state for one resident/step."""
+    cm = model.constraint_model
+    step = seq.steps[t]
+    obs = step.observations[rid]
+    x = np.asarray(obs.features, dtype=float)
+    features_ok = model.use_feature_gmm and x.size > 0 and not np.isnan(x).any()
+    p_idx = (
+        cm.posture_index.index(obs.posture)
+        if (obs.posture is not None and obs.posture in cm.posture_index)
+        else None
+    )
+    g_idx = (
+        cm.gesture_index.index(obs.gesture)
+        if (
+            cm.gesture_index is not None
+            and obs.gesture is not None
+            and obs.gesture in cm.gesture_index
+        )
+        else None
+    )
+    loc_weight = soft_location_log_evidence(
+        cm.subloc_index, obs.position_estimate, obs.subloc_candidates
+    )
+
+    macro_cache: Dict[int, float] = {}
+    out = np.empty(len(states))
+    for i, state in enumerate(states):
+        m = cm.macro_index.index(state.macro)
+        l = cm.subloc_index.index(state.subloc)
+        if m not in macro_cache:
+            score = 0.0
+            if p_idx is not None:
+                score += model._log_posture[m, p_idx]
+            if g_idx is not None and model._log_gesture is not None:
+                score += model._log_gesture[m, g_idx]
+            if features_ok:
+                gmm = model.gmms_.get(m)
+                if gmm is not None:
+                    score += gmm.log_pdf(x)
+            score += object_log_evidence(
+                getattr(model, "_object_index", {}),
+                getattr(model, "_log_obj", np.zeros((0, 0, 2))),
+                m,
+                step.objects_fired,
+            )
+            macro_cache[m] = score
+        # log P(subloc | macro) occupancy couples the hypothesised location
+        # to the macro at every step (product-of-experts strengthening of
+        # the boundary-only reset coupling; without it, macro-location
+        # agreement enters once per segment and is drowned by accumulated
+        # per-step feature noise).
+        score = macro_cache[m] + loc_weight[l] + model._log_subloc_occ[m, l]
+        room = _ROOM_OF.get(state.subloc)
+        if step.rooms_fired and room not in step.rooms_fired:
+            score += model.pir_miss_penalty
+        out[i] = score
+    return out

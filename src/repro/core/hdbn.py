@@ -1,0 +1,174 @@
+"""Single-inhabitant HDBN (paper §IV-C, Eqn 1).
+
+One hierarchical chain: hidden ``(macro, subloc)`` with the same
+end-of-sequence-marker transition semantics as the coupled model, but the
+macro transition is the *uncoupled* table and no partner context exists.
+Besides the N=1 use case, this model is the engine of the paper's **NCR**
+strategy — per-user rule pruning without any inter-user coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.emissions import user_state_emissions
+from repro.core.state_space import StateSpaceBuilder, UserState, _ROOM_OF
+from repro.datasets.trace import Dataset, LabeledSequence
+from repro.mining.constraint_miner import ConstraintModel
+from repro.mining.correlation_miner import CorrelationRuleSet
+from repro.models.chmm import soft_location_log_evidence
+from repro.util.rng import RandomState, ensure_rng
+
+_TINY = 1e-12
+_PIR_MISS_PENALTY = -1.5
+
+
+@dataclass
+class SingleUserHdbn:
+    """Hierarchical DBN for one resident's chain."""
+
+    constraint_model: ConstraintModel
+    rule_set: Optional[CorrelationRuleSet] = None
+    gmm_components: int = 4
+    max_states_per_user: int = 36
+    min_change_prob: float = 1e-4
+    use_feature_gmm: bool = True
+    pir_miss_penalty: float = _PIR_MISS_PENALTY
+    #: NCR runs frame-wise (the paper's two-fold rule-prune-then-classify
+    #: approach has no temporal chaining); set True for a true 1-chain HDBN.
+    temporal: bool = True
+    seed: RandomState = None
+    builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
+    gmms_: Dict[int, object] = field(default_factory=dict, init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(self.seed)
+        self.builder = StateSpaceBuilder(
+            constraint_model=self.constraint_model,
+            max_states_per_user=4 * self.max_states_per_user,
+        )
+        self._single_rules = self.rule_set.single_user() if self.rule_set else None
+        cm = self.constraint_model
+        # Counted per step: already conditioned on micro termination.
+        self._p_change = np.clip(cm.macro_end_prob, self.min_change_prob, 0.5)
+        trans = cm.macro_trans.copy()
+        np.fill_diagonal(trans, 0.0)
+        self._change_trans = trans / np.maximum(trans.sum(axis=1, keepdims=True), _TINY)
+        # Per-step occupancy tables for evidence (see CoupledHdbn: the
+        # segment-start priors are far too flat to act as evidence).
+        self._log_posture = np.log(cm.posture_occupancy + _TINY)
+        self._log_gesture = (
+            np.log(cm.gesture_occupancy + _TINY)
+            if cm.gesture_occupancy is not None
+            else None
+        )
+        self._log_subloc_prior = np.log(cm.subloc_prior + _TINY)
+        self._log_subloc_occ = np.log(cm.subloc_occupancy + _TINY)
+
+    # -- training (shares the coupled model's emission machinery) ----------------
+
+    def fit(self, train: Dataset) -> "SingleUserHdbn":
+        """Fit per-macro Gaussian mixtures via deterministic annealing."""
+        from repro.core.chdbn import fit_macro_gmms, fit_object_cpt  # avoid a cycle
+
+        self.gmms_ = fit_macro_gmms(
+            train, self.constraint_model, self.gmm_components, self._rng
+        )
+        self._object_index, self._log_obj = fit_object_cpt(train, self.constraint_model)
+        return self
+
+    # -- inference ---------------------------------------------------------------------
+
+    def _candidates(self, seq: LabeledSequence, rid: str, t: int) -> List[UserState]:
+        obs = seq.steps[t].observations[rid]
+        states = self.builder.candidate_states(obs)
+        if self._single_rules is not None:
+            amb = self.builder.ambient_item_set(seq.steps[t])
+            kept = [
+                s
+                for s in states
+                if self._single_rules.is_consistent(
+                    self.builder.state_item_set("u1", s, obs) | amb
+                )
+            ]
+            if kept:
+                states = kept
+        return states
+
+    def _emissions(
+        self, seq: LabeledSequence, rid: str, t: int, states: List[UserState]
+    ) -> np.ndarray:
+        return user_state_emissions(self, seq, rid, t, states)
+
+    def _chain_block(
+        self, m_prev: np.ndarray, l_prev: np.ndarray, m_cur: np.ndarray, l_cur: np.ndarray
+    ) -> np.ndarray:
+        cm = self.constraint_model
+        same = m_prev[:, None] == m_cur[None, :]
+        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
+        log_change = (
+            np.log(self._p_change[m_prev])[:, None]
+            + np.log(self._change_trans[m_prev[:, None], m_cur[None, :]] + _TINY)
+        )
+        macro_term = np.where(same, log_stay, log_change)
+        micro_end = cm.micro_end_prob[m_cur][None, :]
+        same_loc = l_prev[:, None] == l_cur[None, :]
+        cont = np.log(
+            (1.0 - micro_end) * same_loc
+            + micro_end * cm.subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
+            + _TINY
+        )
+        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
+        return macro_term + np.where(same, cont, reset)
+
+    def decode_user(self, seq: LabeledSequence, rid: str) -> List[str]:
+        """Macro labels for one resident's chain (Viterbi or frame-wise)."""
+        cm = self.constraint_model
+        per_step = []
+        for t in range(len(seq)):
+            states = self._candidates(seq, rid, t)
+            e = self._emissions(seq, rid, t, states)
+            if len(states) > self.max_states_per_user:
+                top = np.argsort(e)[::-1][: self.max_states_per_user]
+                states = [states[i] for i in top]
+                e = e[top]
+            m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
+            l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
+            per_step.append((states, e, m, l))
+
+        if not self.temporal:
+            # NCR: rule-pruned frame-wise MAP, no temporal model.  The class
+            # prior is the macro step-occupancy; the emission already carries
+            # the per-step location coupling.
+            out = []
+            for states, e, m, l in per_step:
+                score = e + np.log(cm.macro_occupancy[m] + _TINY)
+                out.append(states[int(np.argmax(score))].macro)
+            return out
+
+        states, e, m, l = per_step[0]
+        delta = np.log(cm.macro_prior[m] + _TINY) + self._log_subloc_prior[m, l] + e
+        backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
+        for t in range(1, len(per_step)):
+            _, e, m, l = per_step[t]
+            pm, pl = per_step[t - 1][2], per_step[t - 1][3]
+            log_t = self._chain_block(pm, pl, m, l)
+            total = delta[:, None] + log_t
+            back = np.argmax(total, axis=0)
+            delta = total[back, np.arange(total.shape[1])] + e
+            backs.append(back)
+
+        idx = int(np.argmax(delta))
+        path = [idx]
+        for t in range(len(per_step) - 1, 0, -1):
+            path.append(int(backs[t][path[-1]]))
+        path.reverse()
+        return [per_step[t][0][j].macro for t, j in enumerate(path)]
+
+    def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """Decode every resident independently (no coupling)."""
+        return {rid: self.decode_user(seq, rid) for rid in seq.resident_ids}

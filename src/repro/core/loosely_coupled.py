@@ -1,0 +1,437 @@
+"""N-chain loosely-coupled HDBN (beyond the paper's two-resident testbed).
+
+The paper's conclusion conjectures that "our generic CACE framework can
+handle 3-4 occupants as well"; this module makes the conjecture concrete.
+:class:`NChainHdbn` generalises the pair-wise :class:`~repro.core.chdbn.
+CoupledHdbn` to any number of resident chains:
+
+* per-user candidate states and emissions are identical to the pair model
+  (shared via :mod:`repro.core.emissions`);
+* deterministic cross-user correlations prune every *pair* of chains —
+  rules are mined on symmetrised two-user slots, so a rule that forbids
+  ``(u1, u2)`` joint states applies to every ordered chain pair;
+* the joint coverage term explains fired areas against *all* hypothesised
+  residents;
+* each chain's macro transition is conditioned on one partner chain
+  (chain ``i`` on chain ``(i+1) mod N``), which keeps the transition
+  tensor pairwise — exactly the "loose" coupling that makes N chains
+  tractable — while every pairing still appears somewhere in the ring.
+
+The joint trellis width is capped by emission score, so decoding remains
+polynomial even though the raw product space grows exponentially in N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chdbn import DecodeStats, fit_macro_gmms, fit_object_cpt
+from repro.core.emissions import user_state_emissions
+from repro.core.state_space import StateSpaceBuilder, UserState, _ROOM_OF
+from repro.datasets.trace import Dataset, LabeledSequence
+from repro.mining.constraint_miner import ConstraintModel
+from repro.mining.correlation_miner import CorrelationRuleSet
+from repro.util.rng import RandomState, ensure_rng
+
+_TINY = 1e-12
+
+
+@dataclass
+class NChainHdbn:
+    """Loosely-coupled HDBN over N resident chains.
+
+    Parameters mirror :class:`~repro.core.chdbn.CoupledHdbn`; the joint
+    caps apply to the full N-way product space.
+    """
+
+    constraint_model: ConstraintModel
+    rule_set: Optional[CorrelationRuleSet] = None
+    prune_cross: bool = True
+    gmm_components: int = 4
+    max_states_per_user: int = 24
+    max_joint_states: int = 1200
+    max_joint_states_pruned: int = 300
+    min_change_prob: float = 1e-4
+    use_feature_gmm: bool = True
+    pir_miss_penalty: float = -1.5
+    unexplained_subloc_penalty: float = -4.5
+    unexplained_room_penalty: float = -2.5
+    soft_exclusion_penalty: float = 0.0
+    seed: RandomState = None
+    builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
+    gmms_: Dict[int, object] = field(default_factory=dict, init=False, repr=False)
+    last_stats: DecodeStats = field(default_factory=DecodeStats, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(self.seed)
+        self.builder = StateSpaceBuilder(
+            constraint_model=self.constraint_model,
+            max_states_per_user=4 * self.max_states_per_user,
+        )
+        self._single_rules = self.rule_set.single_user() if self.rule_set else None
+        self._cross_rules = self.rule_set.cross_user() if self.rule_set else None
+        cm = self.constraint_model
+        self._p_change = np.clip(cm.macro_end_prob, self.min_change_prob, 0.5)
+        coupled = cm.macro_trans_coupled.copy()
+        n_m = cm.n_macro
+        coupled[np.arange(n_m), :, np.arange(n_m)] = 0.0
+        row = coupled.sum(axis=2, keepdims=True)
+        self._change_trans = coupled / np.maximum(row, _TINY)
+        self._log_posture = np.log(cm.posture_occupancy + _TINY)
+        self._log_gesture = (
+            np.log(cm.gesture_occupancy + _TINY)
+            if cm.gesture_occupancy is not None
+            else None
+        )
+        self._log_subloc_prior = np.log(cm.subloc_prior + _TINY)
+        self._log_subloc_occ = np.log(cm.subloc_occupancy + _TINY)
+        self._subloc_trans = cm.subloc_trans
+        self._micro_end = cm.micro_end_prob
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, train: Dataset) -> "NChainHdbn":
+        """Fit emissions: DA Gaussian mixtures + object-evidence CPT."""
+        self.gmms_ = fit_macro_gmms(
+            train, self.constraint_model, self.gmm_components, self._rng
+        )
+        self._object_index, self._log_obj = fit_object_cpt(train, self.constraint_model)
+        return self
+
+    # -- per-step machinery ----------------------------------------------------------
+
+    def _user_candidates(
+        self, seq: LabeledSequence, rid: str, t: int
+    ) -> Tuple[List[UserState], np.ndarray]:
+        obs = seq.steps[t].observations[rid]
+        states = self.builder.candidate_states(obs)
+        if self._single_rules is not None:
+            amb = self.builder.ambient_item_set(seq.steps[t])
+            kept = [
+                s
+                for s in states
+                if self._single_rules.is_consistent(
+                    self.builder.state_item_set("u1", s, obs) | amb
+                )
+            ]
+            if kept:
+                states = kept
+        emissions = user_state_emissions(self, seq, rid, t, states)
+        if len(states) > self.max_states_per_user:
+            top = np.argsort(emissions)[::-1][: self.max_states_per_user]
+            states = [states[i] for i in top]
+            emissions = emissions[top]
+        return states, emissions
+
+    def _pairwise_keep(
+        self,
+        step,
+        s_a: List[UserState],
+        s_b: List[UserState],
+        obs_a,
+        obs_b,
+    ) -> np.ndarray:
+        """(|s_a|, |s_b|) mask of pairs consistent with the cross rules."""
+        amb = self.builder.ambient_item_set(step)
+        items_a = [self.builder.state_item_set("u1", s, obs_a) for s in s_a]
+        items_b = [self.builder.state_item_set("u2", s, obs_b) for s in s_b]
+        keep = np.ones((len(s_a), len(s_b)), dtype=bool)
+
+        for excl in self._cross_rules.hard_exclusions:
+            a, b = excl.a, excl.b
+            has_a = np.array([a in it for it in items_a]) if a.slot == "u1" else None
+            has_b = np.array([b in it for it in items_b]) if b.slot == "u2" else None
+            if has_a is None or has_b is None:
+                continue
+            keep &= ~np.outer(has_a, has_b)
+
+        for rule in self._cross_rules.forcing_rules:
+            ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
+            ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
+            ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
+            if not ant_amb <= amb:
+                continue
+            sat1 = np.array([ant1 <= it for it in items_a])
+            sat2 = np.array([ant2 <= it for it in items_b])
+            cons = rule.consequent
+            key = (cons.time, cons.attr)
+            if cons.slot == "u1":
+                viol = np.array(
+                    [
+                        any((i.time, i.attr) == key and i.value != cons.value for i in it)
+                        and cons not in it
+                        for it in items_a
+                    ]
+                )
+                keep &= ~np.outer(sat1 & viol, sat2)
+            elif cons.slot == "u2":
+                viol = np.array(
+                    [
+                        any((i.time, i.attr) == key and i.value != cons.value for i in it)
+                        and cons not in it
+                        for it in items_b
+                    ]
+                )
+                keep &= ~np.outer(sat1, sat2 & viol)
+        return keep
+
+    def _soft_pair_penalty(
+        self,
+        step,
+        s_a: List[UserState],
+        s_b: List[UserState],
+        obs_a,
+        obs_b,
+    ) -> np.ndarray:
+        """(|s_a|, |s_b|) log penalty from violated soft exclusions."""
+        items_a = [self.builder.state_item_set("u1", s, obs_a) for s in s_a]
+        items_b = [self.builder.state_item_set("u2", s, obs_b) for s in s_b]
+        penalty = np.zeros((len(s_a), len(s_b)))
+        for excl in self._cross_rules.soft_exclusions:
+            a, b = excl.a, excl.b
+            if a.slot != "u1" or b.slot != "u2":
+                continue
+            has_a = np.array([a in it for it in items_a])
+            has_b = np.array([b in it for it in items_b])
+            penalty += np.outer(has_a, has_b) * self.soft_exclusion_penalty
+        return penalty
+
+    def _joint_candidates(
+        self,
+        seq: LabeledSequence,
+        t: int,
+        per_user: List[Tuple[List[UserState], np.ndarray]],
+        rids: Sequence[str],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(J, N) index tuples into the per-user candidate lists + scores."""
+        step = seq.steps[t]
+        n = len(per_user)
+        sizes = [len(states) for states, _ in per_user]
+        grids = np.indices(sizes).reshape(n, -1).T  # (prod, N)
+
+        if self._cross_rules is not None and self.prune_cross:
+            mask = np.ones(grids.shape[0], dtype=bool)
+            for a in range(n):
+                for b in range(a + 1, n):
+                    pair_keep = self._pairwise_keep(
+                        step,
+                        per_user[a][0],
+                        per_user[b][0],
+                        step.observations[rids[a]],
+                        step.observations[rids[b]],
+                    )
+                    mask &= pair_keep[grids[:, a], grids[:, b]]
+            self.last_stats.pruned_joint_states += int((~mask).sum())
+            if mask.any():
+                grids = grids[mask]
+
+        scores = np.zeros(grids.shape[0])
+        for u, (states, emis) in enumerate(per_user):
+            scores += emis[grids[:, u]]
+
+        if self._cross_rules is not None and self.prune_cross:
+            soft = self._cross_rules.soft_exclusions
+            if soft:
+                for a in range(n):
+                    for b in range(a + 1, n):
+                        pen = self._soft_pair_penalty(
+                            step,
+                            per_user[a][0],
+                            per_user[b][0],
+                            step.observations[rids[a]],
+                            step.observations[rids[b]],
+                        )
+                        scores += pen[grids[:, a], grids[:, b]]
+
+        # Joint explaining-away over all chains.
+        locs = [np.array([s.subloc for s in states], dtype=object) for states, _ in per_user]
+        for fired in step.sublocs_fired:
+            covered = np.zeros(grids.shape[0], dtype=bool)
+            for u in range(n):
+                covered |= locs[u][grids[:, u]] == fired
+            scores += np.where(covered, 0.0, self.unexplained_subloc_penalty)
+        if not step.sublocs_fired and step.rooms_fired:
+            rooms = [
+                np.array([_ROOM_OF.get(s.subloc) for s in states], dtype=object)
+                for states, _ in per_user
+            ]
+            for fired in step.rooms_fired:
+                covered = np.zeros(grids.shape[0], dtype=bool)
+                for u in range(n):
+                    covered |= rooms[u][grids[:, u]] == fired
+                scores += np.where(covered, 0.0, self.unexplained_room_penalty)
+
+        cap = self.max_joint_states
+        if self.rule_set is not None and self.prune_cross:
+            cap = min(cap, self.max_joint_states_pruned)
+        if grids.shape[0] > cap:
+            top = np.argsort(scores)[::-1][:cap]
+            grids = grids[top]
+            scores = scores[top]
+        return grids, scores
+
+    def _encode(
+        self, per_user: List[Tuple[List[UserState], np.ndarray]], grids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Macro and subloc index arrays of shape (J, N)."""
+        cm = self.constraint_model
+        n = len(per_user)
+        m = np.empty((grids.shape[0], n), dtype=int)
+        l = np.empty((grids.shape[0], n), dtype=int)
+        for u, (states, _) in enumerate(per_user):
+            ms = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
+            ls = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
+            m[:, u] = ms[grids[:, u]]
+            l[:, u] = ls[grids[:, u]]
+        return m, l
+
+    def _chain_block(
+        self,
+        m_prev: np.ndarray,
+        l_prev: np.ndarray,
+        partner_prev: np.ndarray,
+        m_cur: np.ndarray,
+        l_cur: np.ndarray,
+    ) -> np.ndarray:
+        """One chain's (P, C) contribution to the joint transition."""
+        same = m_prev[:, None] == m_cur[None, :]
+        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
+        log_change = (
+            np.log(self._p_change[m_prev])[:, None]
+            + np.log(
+                self._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
+                + _TINY
+            )
+        )
+        macro_term = np.where(same, log_stay, log_change)
+
+        micro_end = self._micro_end[m_cur][None, :]
+        same_loc = l_prev[:, None] == l_cur[None, :]
+        cont = np.log(
+            (1.0 - micro_end) * same_loc
+            + micro_end * self._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
+            + _TINY
+        )
+        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
+        loc_term = np.where(same, cont, reset)
+        return macro_term + loc_term
+
+    def _transition_block(
+        self,
+        prev: Tuple[np.ndarray, np.ndarray],
+        cur: Tuple[np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """(P, C) joint log transition; chain i conditions on chain i+1."""
+        m_prev, l_prev = prev
+        m_cur, l_cur = cur
+        n = m_prev.shape[1]
+        total = np.zeros((m_prev.shape[0], m_cur.shape[0]))
+        for u in range(n):
+            partner = (u + 1) % n if n > 1 else u
+            total += self._chain_block(
+                m_prev[:, u], l_prev[:, u], m_prev[:, partner], m_cur[:, u], l_cur[:, u]
+            )
+        return total
+
+    # -- decoding -----------------------------------------------------------------------
+
+    def _prepare(self, seq: LabeledSequence):
+        rids = tuple(seq.resident_ids)
+        if len(rids) < 2:
+            raise ValueError("NChainHdbn expects >= 2 residents (use SingleUserHdbn)")
+        self.last_stats = DecodeStats()
+        stats = self.last_stats
+        per_step = []
+        for t in range(len(seq)):
+            per_user = [self._user_candidates(seq, rid, t) for rid in rids]
+            grids, scores = self._joint_candidates(seq, t, per_user, rids)
+            enc = self._encode(per_user, grids)
+            per_step.append((per_user, grids, scores, enc))
+            stats.steps += 1
+            stats.joint_states += grids.shape[0]
+        return rids, per_step
+
+    def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """Joint Viterbi macro labels for every resident."""
+        rids, per_step = self._prepare(seq)
+        cm = self.constraint_model
+        stats = self.last_stats
+
+        per_user, grids, scores, (m_enc, l_enc) = per_step[0]
+        delta = scores + np.sum(
+            np.log(cm.macro_prior[m_enc] + _TINY)
+            + self._log_subloc_prior[m_enc, l_enc],
+            axis=1,
+        )
+        backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
+
+        for t in range(1, len(per_step)):
+            prev_enc = per_step[t - 1][3]
+            per_user, grids, scores, enc = per_step[t]
+            log_t = self._transition_block(prev_enc, enc)
+            stats.transition_entries += log_t.size
+            total = delta[:, None] + log_t
+            back = np.argmax(total, axis=0)
+            delta = total[back, np.arange(total.shape[1])] + scores
+            backs.append(back)
+
+        idx = int(np.argmax(delta))
+        path: List[int] = [idx]
+        for t in range(len(per_step) - 1, 0, -1):
+            path.append(int(backs[t][path[-1]]))
+        path.reverse()
+
+        out: Dict[str, List[str]] = {rid: [] for rid in rids}
+        for t, j in enumerate(path):
+            per_user, grids, _, _ = per_step[t]
+            for u, rid in enumerate(rids):
+                out[rid].append(per_user[u][0][grids[j, u]].macro)
+        return out
+
+    def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+        """Per-resident posterior macro marginals ``(T, M)``."""
+        rids, per_step = self._prepare(seq)
+        cm = self.constraint_model
+        n_m = cm.n_macro
+
+        def lse(arr: np.ndarray, axis: int) -> np.ndarray:
+            m = arr.max(axis=axis, keepdims=True)
+            m = np.where(np.isfinite(m), m, 0.0)
+            return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
+
+        alphas: List[np.ndarray] = []
+        _, _, scores, (m_enc, l_enc) = per_step[0]
+        alpha = scores + np.sum(
+            np.log(cm.macro_prior[m_enc] + _TINY)
+            + self._log_subloc_prior[m_enc, l_enc],
+            axis=1,
+        )
+        alphas.append(alpha)
+        for t in range(1, len(per_step)):
+            prev_enc = per_step[t - 1][3]
+            _, _, scores, enc = per_step[t]
+            log_t = self._transition_block(prev_enc, enc)
+            alpha = scores + lse(alphas[-1][:, None] + log_t, axis=0)
+            alphas.append(alpha)
+
+        betas: List[Optional[np.ndarray]] = [None] * len(per_step)
+        betas[-1] = np.zeros_like(alphas[-1])
+        for t in range(len(per_step) - 2, -1, -1):
+            enc = per_step[t][3]
+            nxt_scores, nxt_enc = per_step[t + 1][2], per_step[t + 1][3]
+            log_t = self._transition_block(enc, nxt_enc)
+            betas[t] = lse(log_t + (nxt_scores + betas[t + 1])[None, :], axis=1)
+
+        out = {rid: np.zeros((len(per_step), n_m)) for rid in rids}
+        for t in range(len(per_step)):
+            log_gamma = alphas[t] + betas[t]
+            log_gamma -= lse(log_gamma, axis=0)
+            gamma = np.exp(log_gamma)
+            m_enc, _ = per_step[t][3]
+            for u, rid in enumerate(rids):
+                np.add.at(out[rid][t], m_enc[:, u], gamma)
+        return out

@@ -1,0 +1,122 @@
+"""State-space creation: per-step candidate hidden states (Fig 2, step 3).
+
+A user's hidden state is ``(macro, subloc)`` — postural and oral-gestural
+micro context are *observable* (inferred by the tier-1 classifiers) while
+location and macro activity are hidden (paper §IV-A).  For each time step
+the builder combines micro-level evidence into a compact candidate list:
+sub-locations from the fused iBeacon/PIR candidate set, macro activities
+whose mined location prior puts non-trivial mass on those candidates.
+
+The correlation miners then *reduce* this space (step 4); the builder also
+exposes the item-set encoding that rule checking consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.trace import ContextStep, ResidentObservation
+from repro.mining.constraint_miner import ConstraintModel
+from repro.mining.context_rules import Item, ambient_items, state_items
+from repro.home.layout import SUB_REGIONS
+
+_ROOM_OF = {sr.sr_id: sr.room for sr in SUB_REGIONS}
+
+
+class UserState(NamedTuple):
+    """One hidden-state hypothesis for one resident."""
+
+    macro: str
+    subloc: str
+
+
+@dataclass
+class StateSpaceBuilder:
+    """Builds per-step candidate states from observations.
+
+    Parameters
+    ----------
+    constraint_model:
+        Mined statistics; its per-macro sub-location priors decide which
+        macro activities are compatible with a candidate location set.
+    macro_mass_threshold:
+        Minimum prior mass a macro must put on the candidate sub-locations
+        to be hypothesised there (the probabilistic "state space creation"
+        filter).
+    max_states_per_user:
+        Hard cap on per-user candidates (best-scoring kept).
+    """
+
+    constraint_model: ConstraintModel
+    macro_mass_threshold: float = 0.02
+    min_subloc_prior: float = 0.01
+    max_states_per_user: int = 60
+
+    def candidate_states(self, obs: ResidentObservation) -> List[UserState]:
+        """Candidate ``(macro, subloc)`` states for one resident at one step.
+
+        Sub-locations come from the fused candidate set; macro hypotheses
+        are scored by their occupancy mass on those candidates.  Every macro
+        always contributes at least one state — its best candidate
+        sub-location, or its global modal sub-location when the candidate
+        set carries no mass (a PIR can miss a stationary resident, and the
+        emission's PIR-miss penalty is the right place to adjudicate that,
+        not a hard candidate cut that caps attainable accuracy).
+        """
+        cm = self.constraint_model
+        occupancy = cm.subloc_occupancy if cm.subloc_occupancy is not None else cm.subloc_prior
+        cand_idx = [
+            cm.subloc_index.index(sr) for sr in obs.subloc_candidates if sr in cm.subloc_index
+        ]
+        if not cand_idx:
+            cand_idx = list(range(len(cm.subloc_index)))
+
+        scored: List[Tuple[float, UserState]] = []
+        guaranteed: List[UserState] = []
+        seen: set = set()
+        for m_i, macro in enumerate(cm.macro_index.labels):
+            mass = float(occupancy[m_i, cand_idx].sum())
+            best_l = max(cand_idx, key=lambda l_i: occupancy[m_i, l_i])
+            if mass < self.macro_mass_threshold:
+                # Outside its usual locations: keep one fallback hypothesis
+                # at the macro's modal sub-location.
+                l_i = int(np.argmax(occupancy[m_i]))
+                guaranteed.append(UserState(macro, cm.subloc_index.label(l_i)))
+                seen.add((m_i, l_i))
+                continue
+            guaranteed.append(UserState(macro, cm.subloc_index.label(best_l)))
+            seen.add((m_i, best_l))
+            for l_i in cand_idx:
+                p = float(occupancy[m_i, l_i])
+                if p < self.min_subloc_prior or (m_i, l_i) in seen:
+                    continue
+                scored.append((mass * p, UserState(macro, cm.subloc_index.label(l_i))))
+        scored.sort(key=lambda pair: -pair[0])
+        budget = max(self.max_states_per_user - len(guaranteed), 0)
+        return guaranteed + [state for _, state in scored[:budget]]
+
+    # -- item encoding for rule checks ----------------------------------------
+
+    @staticmethod
+    def state_item_set(
+        slot: str, state: UserState, obs: ResidentObservation
+    ) -> FrozenSet[Item]:
+        """Items describing a hypothesised state plus observed micro context."""
+        return frozenset(
+            state_items(
+                slot,
+                macro=state.macro,
+                posture=obs.posture,
+                gesture=obs.gesture,
+                subloc=state.subloc,
+                room=_ROOM_OF.get(state.subloc, "unknown"),
+            )
+        )
+
+    @staticmethod
+    def ambient_item_set(step: ContextStep) -> FrozenSet[Item]:
+        """Items for the step's unattributed ambient evidence."""
+        return frozenset(ambient_items(sorted(step.rooms_fired), sorted(step.objects_fired)))

@@ -1,0 +1,44 @@
+"""Dataset generation and containers.
+
+Two generators mirror the paper's two evaluation corpora:
+
+* :func:`~repro.datasets.cace.generate_cace_dataset` — the CACE dataset:
+  five simulated homes, each with a resident pair living a naturalistic
+  morning routine, full sensing (postural + gestural wearables, PIR, object
+  sensors, iBeacon sub-locations).
+* :func:`~repro.datasets.casas.generate_casas_dataset` — a CASAS-style
+  corpus: resident pairs performing 15 scripted ADL tasks (two of them
+  joint), ambient motion sensors + postural data only, **no gestural
+  channel** (the public CASAS data has none).
+
+Raw simulation output is discretised into fixed-period
+:class:`~repro.datasets.trace.ContextStep` sequences by
+:class:`~repro.datasets.discretize.Discretizer`.
+"""
+
+from repro.datasets.cace import generate_cace_dataset
+from repro.datasets.casas import CASAS_TASKS, generate_casas_dataset
+from repro.datasets.discretize import Discretizer
+from repro.datasets.observation import MicroObservationModel
+from repro.datasets.trace import (
+    ContextStep,
+    Dataset,
+    LabeledSequence,
+    ResidentObservation,
+    ResidentTruth,
+    train_test_split,
+)
+
+__all__ = [
+    "generate_cace_dataset",
+    "generate_casas_dataset",
+    "CASAS_TASKS",
+    "Discretizer",
+    "MicroObservationModel",
+    "ContextStep",
+    "Dataset",
+    "LabeledSequence",
+    "ResidentObservation",
+    "ResidentTruth",
+    "train_test_split",
+]

@@ -1,0 +1,346 @@
+"""CASAS-style multi-resident dataset generation.
+
+The paper's second corpus is the WSU CASAS multi-resident ADL dataset
+(Singla et al. [9]): 26 resident pairs drawn from 40 volunteers, each pair
+performing 15 scripted ADL tasks in a smart apartment instrumented with
+motion sensors — two of the tasks (*Move Furniture*, *Play Checkers*) are
+performed jointly, and there is **no oral-gestural channel**.
+
+The public download is unavailable offline, so this module generates a
+corpus with the same published shape: the 15-task script below approximates
+the WSU task list; pairs re-use a shared pool of 40 user identities; the
+joint tasks are synchronised across both residents; observations carry
+postural + ambient context only (``use_beacons=False``, no gestures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.discretize import Discretizer
+from repro.datasets.observation import MicroObservationModel
+from repro.datasets.trace import Dataset
+from repro.home.activities import ActivityProfile, POSTURAL_ACTIVITIES
+from repro.home.behavior import BehaviorEngine, MacroSegment
+from repro.home.layout import casas_layout, default_layout
+from repro.home.simulator import HomeSimulator
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import check_positive
+
+#: The 15 scripted tasks (approximating the WSU ADLMR task list); the two
+#: shared tasks are performed by both residents simultaneously.
+CASAS_TASKS: Tuple[str, ...] = (
+    "fill_medication_dispenser",
+    "hang_up_clothes",
+    "move_furniture",
+    "read_magazine",
+    "water_plants",
+    "sweep_floor",
+    "play_checkers",
+    "prepare_dinner",
+    "set_table",
+    "read_book",
+    "pay_bills",
+    "pack_picnic",
+    "retrieve_dishes",
+    "pack_supplies",
+    "gather_laundry",
+)
+
+SHARED_TASKS: Tuple[str, ...] = ("move_furniture", "play_checkers")
+
+
+def _profile(
+    name: str,
+    sublocations: Dict[str, float],
+    postural: Dict[str, float],
+    duration: Tuple[float, float],
+    mobility: float,
+    objects: Optional[Dict[str, float]] = None,
+    shareable: bool = False,
+) -> ActivityProfile:
+    return ActivityProfile(
+        name=name,
+        sublocations=sublocations,
+        postural=postural,
+        gestural={"silent": 0.9, "talking": 0.1},
+        duration_range_s=duration,
+        objects=objects or {},
+        mobility=mobility,
+        shareable=shareable,
+    )
+
+
+CASAS_PROFILES: Dict[str, ActivityProfile] = {
+    "fill_medication_dispenser": _profile(
+        "fill_medication_dispenser",
+        {"SR10": 0.9, "SR4": 0.1},
+        {"standing": 0.75, "sitting": 0.15, "walking": 0.1},
+        (180, 420),
+        0.3,
+        objects={"medication_dispenser": 0.8},
+    ),
+    "hang_up_clothes": _profile(
+        "hang_up_clothes",
+        {"SR6": 0.8, "SR14": 0.2},
+        {"standing": 0.6, "walking": 0.4},
+        (120, 360),
+        0.5,
+        objects={"wardrobe": 0.7},
+    ),
+    "move_furniture": _profile(
+        "move_furniture",
+        {"SR12": 0.7, "SR2": 0.3},
+        {"walking": 0.55, "standing": 0.45},
+        (180, 420),
+        0.8,
+        objects={"furniture": 0.75},
+        shareable=True,
+    ),
+    "read_magazine": _profile(
+        "read_magazine",
+        {"SR2": 0.85, "SR3": 0.15},
+        {"sitting": 0.92, "standing": 0.08},
+        (300, 900),
+        0.05,
+        objects={"magazine_rack": 0.6},
+    ),
+    "water_plants": _profile(
+        "water_plants",
+        {"SR11": 0.75, "SR12": 0.25},
+        {"standing": 0.6, "walking": 0.4},
+        (120, 300),
+        0.55,
+        objects={"watering_can": 0.8},
+    ),
+    "sweep_floor": _profile(
+        "sweep_floor",
+        {"SR10": 0.6, "SR12": 0.4},
+        {"walking": 0.6, "standing": 0.4},
+        (240, 600),
+        0.7,
+        objects={"broom": 0.8},
+    ),
+    "play_checkers": _profile(
+        "play_checkers",
+        {"SR4": 1.0},
+        {"sitting": 0.95, "standing": 0.05},
+        (600, 1200),
+        0.04,
+        objects={"checkers_box": 0.7},
+        shareable=True,
+    ),
+    "prepare_dinner": _profile(
+        "prepare_dinner",
+        {"SR10": 0.92, "SR4": 0.08},
+        {"standing": 0.6, "walking": 0.36, "sitting": 0.04},
+        (600, 1500),
+        0.55,
+        objects={"stove": 0.8, "dishes_cabinet": 0.25},
+    ),
+    "set_table": _profile(
+        "set_table",
+        {"SR4": 0.8, "SR10": 0.2},
+        {"standing": 0.55, "walking": 0.45},
+        (120, 300),
+        0.6,
+        objects={"dishes_cabinet": 0.6},
+    ),
+    "read_book": _profile(
+        "read_book",
+        {"SR7": 0.9, "SR14": 0.1},
+        {"sitting": 0.94, "standing": 0.06},
+        (300, 900),
+        0.05,
+        objects={"study_book": 0.6},
+    ),
+    "pay_bills": _profile(
+        "pay_bills",
+        {"SR4": 0.55, "SR7": 0.45},
+        {"sitting": 0.88, "standing": 0.12},
+        (300, 700),
+        0.08,
+        objects={"bills_folder": 0.7},
+    ),
+    "pack_picnic": _profile(
+        "pack_picnic",
+        {"SR10": 0.85, "SR4": 0.15},
+        {"standing": 0.55, "walking": 0.45},
+        (300, 600),
+        0.5,
+        objects={"picnic_basket": 0.8},
+    ),
+    "retrieve_dishes": _profile(
+        "retrieve_dishes",
+        {"SR10": 0.9, "SR4": 0.1},
+        {"walking": 0.55, "standing": 0.45},
+        (120, 300),
+        0.65,
+        objects={"dishes_cabinet": 0.8},
+    ),
+    "pack_supplies": _profile(
+        "pack_supplies",
+        {"SR14": 0.6, "SR8": 0.4},
+        {"standing": 0.55, "walking": 0.45},
+        (240, 480),
+        0.5,
+        objects={"supplies_box": 0.8},
+    ),
+    "gather_laundry": _profile(
+        "gather_laundry",
+        {"SR14": 0.55, "SR6": 0.45},
+        {"walking": 0.6, "standing": 0.4},
+        (120, 360),
+        0.65,
+        objects={"laundry_basket": 0.8},
+    ),
+}
+
+
+def _make_pairs(n_users: int, n_pairs: int, rng: np.random.Generator) -> List[Tuple[str, str]]:
+    """Form resident pairs from a shared user pool (as in CASAS: 40 -> 26)."""
+    users = [f"U{i:02d}" for i in range(1, n_users + 1)]
+    pairs: List[Tuple[str, str]] = []
+    # First use all users once (disjoint pairs), then re-pair random users.
+    order = list(users)
+    rng.shuffle(order)
+    for i in range(0, len(order) - 1, 2):
+        pairs.append((order[i], order[i + 1]))
+        if len(pairs) == n_pairs:
+            return pairs
+    while len(pairs) < n_pairs:
+        a, b = rng.choice(users, size=2, replace=False)
+        if (a, b) not in pairs and (b, a) not in pairs:
+            pairs.append((str(a), str(b)))
+    return pairs
+
+
+def _scripted_timelines(
+    pair: Tuple[str, str],
+    engine: BehaviorEngine,
+    rng: np.random.Generator,
+    duration_scale: float,
+) -> Tuple[Dict[str, List[MacroSegment]], float]:
+    """Script one session: individual tasks interleaved with two joint tasks."""
+    individual = [t for t in CASAS_TASKS if t not in SHARED_TASKS]
+
+    def sample_duration(task: str) -> float:
+        lo, hi = CASAS_PROFILES[task].duration_range_s
+        return duration_scale * float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+    # Each resident gets their own order over the individual tasks, split
+    # into halves around the two synchronised joint tasks.
+    orders = {}
+    for rid in pair:
+        tasks = list(individual)
+        rng.shuffle(tasks)
+        orders[rid] = tasks
+    halves = {rid: (orders[rid][: len(orders[rid]) // 2], orders[rid][len(orders[rid]) // 2 :]) for rid in pair}
+
+    timelines: Dict[str, List[MacroSegment]] = {rid: [] for rid in pair}
+    clocks: Dict[str, float] = {rid: 0.0 for rid in pair}
+    postures: Dict[str, str] = {rid: "standing" for rid in pair}
+
+    def run_block(rid: str, tasks: List[str]) -> None:
+        for task in tasks:
+            dur = sample_duration(task)
+            seg, postures[rid] = engine.expand_segment(
+                task, clocks[rid], clocks[rid] + dur, postures[rid]
+            )
+            timelines[rid].append(seg)
+            clocks[rid] += dur
+
+    def sync_and_share(task: str) -> None:
+        # Stretch the faster resident's last segment so both are free.
+        t_sync = max(clocks.values())
+        for rid in pair:
+            if clocks[rid] < t_sync and timelines[rid]:
+                last = timelines[rid][-1]
+                seg, postures[rid] = engine.expand_segment(
+                    last.activity, last.start, t_sync, postures[rid]
+                )
+                timelines[rid][-1] = seg
+            clocks[rid] = t_sync
+        dur = sample_duration(task)
+        for rid in pair:
+            seg, postures[rid] = engine.expand_segment(
+                task, t_sync, t_sync + dur, postures[rid]
+            )
+            timelines[rid].append(seg)
+            clocks[rid] = t_sync + dur
+
+    for rid in pair:
+        run_block(rid, halves[rid][0])
+    sync_and_share(SHARED_TASKS[0])
+    for rid in pair:
+        run_block(rid, halves[rid][1])
+    sync_and_share(SHARED_TASKS[1])
+
+    total = max(clocks.values())
+    # Pad the shorter timeline's tail (possible only if expansion rounded).
+    return timelines, total
+
+
+def generate_casas_dataset(
+    n_pairs: int = 26,
+    n_users: int = 40,
+    sessions_per_pair: int = 2,
+    duration_scale: float = 1.0,
+    step_s: float = 15.0,
+    observation_model: Optional[MicroObservationModel] = None,
+    seed: RandomState = None,
+) -> Dataset:
+    """Generate the CASAS-style corpus (ambient + postural only).
+
+    ``duration_scale`` uniformly scales task durations; 0.3-0.5 gives quick
+    test corpora, 1.0 approximates real task lengths (sessions ~1.5 h).
+    """
+    check_positive("n_pairs", n_pairs)
+    check_positive("sessions_per_pair", sessions_per_pair)
+    rng = ensure_rng(seed)
+    pairs = _make_pairs(n_users, n_pairs, rng)
+
+    sequences = []
+    for idx, pair in enumerate(pairs, start=1):
+        home_id = f"pair{idx:02d}"
+        layout = casas_layout(seed=rng.integers(0, 2**31))
+        engine = BehaviorEngine(
+            layout=layout, profiles=CASAS_PROFILES, seed=rng.integers(0, 2**31)
+        )
+        simulator = HomeSimulator(
+            home_id=home_id,
+            layout=layout,
+            behavior=engine,
+            sensor_tick_s=2.0,
+            seed=rng.integers(0, 2**31),
+        )
+        discretizer = Discretizer(
+            step_s=step_s,
+            use_beacons=False,
+            observation_model=observation_model,
+            seed=rng.integers(0, 2**31),
+        )
+        for _ in range(sessions_per_pair):
+            timelines, total = _scripted_timelines(pair, engine, rng, duration_scale)
+            sim = simulator.run_timelines(timelines, duration_s=total, with_neck_tag=False)
+            sequences.append(discretizer.discretize(sim, with_gestural=False))
+
+    layout = default_layout()
+    return Dataset(
+        name="casas",
+        sequences=sequences,
+        macro_vocab=CASAS_TASKS,
+        postural_vocab=POSTURAL_ACTIVITIES,
+        gestural_vocab=(),
+        subloc_vocab=tuple(layout.sub_region_ids),
+        has_gestural=False,
+        metadata={
+            "n_pairs": n_pairs,
+            "n_users": n_users,
+            "sessions_per_pair": sessions_per_pair,
+            "duration_scale": duration_scale,
+            "step_s": step_s,
+        },
+    )

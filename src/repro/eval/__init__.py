@@ -1,0 +1,26 @@
+"""Evaluation: metrics, experiment drivers, and paper-style reporting.
+
+``repro.eval.experiments`` contains one function per table/figure of the
+paper's evaluation section; each returns a structured result object whose
+``render()`` reproduces the corresponding rows.
+"""
+
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.metrics import (
+    ClassMetrics,
+    accuracy,
+    evaluate_predictions,
+    macro_metrics,
+    prc_auc,
+    roc_auc,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "ClassMetrics",
+    "accuracy",
+    "evaluate_predictions",
+    "macro_metrics",
+    "prc_auc",
+    "roc_auc",
+]

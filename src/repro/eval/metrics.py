@@ -1,0 +1,202 @@
+"""Classification metrics matching the paper's reporting.
+
+The paper reports, per class and overall: FP rate, precision, recall,
+F-measure, and weighted ROC / PRC areas (computed one-vs-rest from
+posterior scores).  ``evaluate_predictions`` produces all of them from
+aligned label sequences (+ optional score matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.confusion import ConfusionMatrix
+
+
+@dataclass
+class ClassMetrics:
+    """One class's one-vs-rest metrics."""
+
+    label: str
+    fp_rate: float
+    precision: float
+    recall: float
+    f_measure: float
+    support: int
+
+    def row(self) -> str:
+        """Paper-style table row."""
+        return (
+            f"{self.label:>24s}  FP {self.fp_rate * 100:5.2f}  "
+            f"P {self.precision * 100:5.1f}  R {self.recall * 100:5.1f}  "
+            f"F {self.f_measure * 100:5.1f}  (n={self.support})"
+        )
+
+
+@dataclass
+class EvaluationReport:
+    """Overall + per-class metrics for a prediction run."""
+
+    accuracy: float
+    fp_rate: float
+    precision: float
+    recall: float
+    f_measure: float
+    per_class: Dict[str, ClassMetrics]
+    weighted_roc_auc: Optional[float] = None
+    weighted_prc_auc: Optional[float] = None
+    confusion: Optional[ConfusionMatrix] = None
+
+    def render(self) -> str:
+        """Paper-style table: per-class rows then the overall row."""
+        lines = [m.row() for m in self.per_class.values()]
+        overall = (
+            f"{'Overall':>24s}  FP {self.fp_rate * 100:5.2f}  "
+            f"P {self.precision * 100:5.1f}  R {self.recall * 100:5.1f}  "
+            f"F {self.f_measure * 100:5.1f}  acc {self.accuracy * 100:5.1f}"
+        )
+        if self.weighted_roc_auc is not None:
+            overall += f"  ROC {self.weighted_roc_auc * 100:5.1f}"
+        if self.weighted_prc_auc is not None:
+            overall += f"  PRC {self.weighted_prc_auc * 100:5.1f}"
+        lines.append(overall)
+        return "\n".join(lines)
+
+
+def accuracy(truth: Sequence[str], predicted: Sequence[str]) -> float:
+    """Fraction of exact label matches."""
+    if len(truth) != len(predicted):
+        raise ValueError("sequences must align")
+    if not truth:
+        return 0.0
+    return float(np.mean(np.asarray(truth, dtype=object) == np.asarray(predicted, dtype=object)))
+
+
+def _safe_div(a: float, b: float) -> float:
+    return a / b if b > 0 else 0.0
+
+
+def macro_metrics(confusion: ConfusionMatrix) -> Dict[str, ClassMetrics]:
+    """Per-class one-vs-rest metrics from a confusion matrix."""
+    out: Dict[str, ClassMetrics] = {}
+    for label, cell in confusion.per_class().items():
+        tp, fp, fn, tn = cell["tp"], cell["fp"], cell["fn"], cell["tn"]
+        precision = _safe_div(tp, tp + fp)
+        recall = _safe_div(tp, tp + fn)
+        out[label] = ClassMetrics(
+            label=label,
+            fp_rate=_safe_div(fp, fp + tn),
+            precision=precision,
+            recall=recall,
+            f_measure=_safe_div(2 * precision * recall, precision + recall),
+            support=int(tp + fn),
+        )
+    return out
+
+
+def roc_auc(scores: np.ndarray, positives: np.ndarray) -> float:
+    """Binary ROC AUC via the rank statistic (ties averaged)."""
+    scores = np.asarray(scores, dtype=float)
+    positives = np.asarray(positives, dtype=bool)
+    n_pos = int(positives.sum())
+    n_neg = int((~positives).sum())
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores))
+    # Average ranks over score ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = float(ranks[positives].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def prc_auc(scores: np.ndarray, positives: np.ndarray) -> float:
+    """Area under the precision-recall curve (step interpolation)."""
+    scores = np.asarray(scores, dtype=float)
+    positives = np.asarray(positives, dtype=bool)
+    n_pos = int(positives.sum())
+    if n_pos == 0:
+        return float("nan")
+    order = np.argsort(scores)[::-1]
+    labels = positives[order]
+    tp = np.cumsum(labels)
+    fp = np.cumsum(~labels)
+    precision = tp / np.maximum(tp + fp, 1)
+    recall = tp / n_pos
+    # Integrate precision over recall steps.
+    auc = 0.0
+    prev_recall = 0.0
+    for p, r in zip(precision, recall):
+        auc += p * (r - prev_recall)
+        prev_recall = r
+    return float(auc)
+
+
+def evaluate_predictions(
+    truth: Sequence[str],
+    predicted: Sequence[str],
+    labels: Sequence[str],
+    scores: Optional[np.ndarray] = None,
+) -> EvaluationReport:
+    """Full evaluation over aligned label sequences.
+
+    *scores* is an optional ``(n, len(labels))`` posterior matrix used for
+    the weighted one-vs-rest ROC / PRC areas.
+    """
+    confusion = ConfusionMatrix(tuple(labels))
+    confusion.update(list(truth), list(predicted))
+    per_class = macro_metrics(confusion)
+
+    supports = np.array([per_class[lb].support for lb in labels], dtype=float)
+    weights = supports / supports.sum() if supports.sum() else supports
+
+    def weighted(attr: str) -> float:
+        return float(
+            sum(w * getattr(per_class[lb], attr) for w, lb in zip(weights, labels))
+        )
+
+    roc = prc = None
+    if scores is not None:
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape != (len(truth), len(labels)):
+            raise ValueError(
+                f"scores must be (n, {len(labels)}), got {scores.shape}"
+            )
+        truth_arr = np.asarray(truth, dtype=object)
+        rocs: List[float] = []
+        prcs: List[float] = []
+        for j, label in enumerate(labels):
+            pos = truth_arr == label
+            if pos.any() and (~pos).any():
+                rocs.append(roc_auc(scores[:, j], pos))
+                prcs.append(prc_auc(scores[:, j], pos))
+            else:
+                rocs.append(float("nan"))
+                prcs.append(float("nan"))
+        valid = ~np.isnan(rocs)
+        if valid.any():
+            w = weights[valid] / weights[valid].sum()
+            roc = float(np.sum(w * np.asarray(rocs)[valid]))
+            prc = float(np.sum(w * np.asarray(prcs)[valid]))
+
+    return EvaluationReport(
+        accuracy=confusion.accuracy(),
+        fp_rate=weighted("fp_rate"),
+        precision=weighted("precision"),
+        recall=weighted("recall"),
+        f_measure=weighted("f_measure"),
+        per_class=per_class,
+        weighted_roc_auc=roc,
+        weighted_prc_auc=prc,
+        confusion=confusion,
+    )

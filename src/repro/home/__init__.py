@@ -1,0 +1,40 @@
+"""Smart-home substrate: floor plan, ADL catalogue, residents, simulator.
+
+Reproduces the paper's PogoPlug testbed as a discrete-event simulation: a
+one-bedroom apartment partitioned into 14 sub-regions (SR1-SR14), the
+Table III activity vocabulary (11 macro ADLs, 5 postural and 5 oral-gestural
+micro activities), and a *coupled* two-resident behaviour engine that
+generates ground-truth timelines exhibiting the paper's Propositions 1-4
+(intra/inter-user spatiotemporal correlations and constraints).
+"""
+
+from repro.home.activities import (
+    ActivityProfile,
+    GESTURAL_ACTIVITIES,
+    MACRO_ACTIVITIES,
+    POSTURAL_ACTIVITIES,
+    SHAREABLE_ACTIVITIES,
+    activity_profile,
+)
+from repro.home.behavior import BehaviorEngine, MacroSegment, MicroSlice
+from repro.home.layout import ApartmentLayout, SubRegion, default_layout
+from repro.home.resident import Resident
+from repro.home.simulator import HomeSimulator, SimulationResult
+
+__all__ = [
+    "ActivityProfile",
+    "GESTURAL_ACTIVITIES",
+    "MACRO_ACTIVITIES",
+    "POSTURAL_ACTIVITIES",
+    "SHAREABLE_ACTIVITIES",
+    "activity_profile",
+    "BehaviorEngine",
+    "MacroSegment",
+    "MicroSlice",
+    "ApartmentLayout",
+    "SubRegion",
+    "default_layout",
+    "Resident",
+    "HomeSimulator",
+    "SimulationResult",
+]

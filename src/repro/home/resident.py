@@ -1,0 +1,101 @@
+"""Resident agents: the people wearing the sensors.
+
+A :class:`Resident` binds an identity to its wearable complement — pocket
+smartphone (postural IMU + iBeacon receiver) and neck-mounted SensorTag
+(gestural IMU) — and tracks a physical position inside the apartment while
+the simulator advances time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.home.layout import ApartmentLayout
+from repro.sensors.ibeacon import BeaconReceiver
+from repro.sensors.imu import ImuSimulator
+from repro.util.rng import RandomState, ensure_rng
+
+
+@dataclass
+class Resident:
+    """One inhabitant with their personal sensing devices.
+
+    Parameters
+    ----------
+    resident_id:
+        Stable identifier, e.g. ``"home1:alice"``.
+    has_phone / has_neck_tag:
+        Device availability; the CASAS-style ablation runs without the neck
+        tag (no gestural channel).
+    """
+
+    resident_id: str
+    layout: ApartmentLayout
+    has_phone: bool = True
+    has_neck_tag: bool = True
+    walk_speed_mps: float = 1.1
+    seed: RandomState = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _position: Tuple[float, float] = field(init=False)
+    _current_subloc: Optional[str] = field(default=None, init=False)
+    phone_imu: Optional[ImuSimulator] = field(default=None, init=False, repr=False)
+    neck_imu: Optional[ImuSimulator] = field(default=None, init=False, repr=False)
+    beacon_receiver: Optional[BeaconReceiver] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(self.seed)
+        self._position = (
+            float(np.mean([self.layout.bounds[0], self.layout.bounds[2]])),
+            float(np.mean([self.layout.bounds[1], self.layout.bounds[3]])),
+        )
+        if self.has_phone:
+            self.phone_imu = ImuSimulator(seed=self._rng.integers(0, 2**31))
+            if self.layout.beacons:
+                # Beacon-free deployments (the CASAS testbed) have no
+                # phone-side localisation; localize() then returns None.
+                self.beacon_receiver = BeaconReceiver(
+                    beacons=self.layout.beacons, seed=self._rng.integers(0, 2**31)
+                )
+        if self.has_neck_tag:
+            self.neck_imu = ImuSimulator(seed=self._rng.integers(0, 2**31))
+
+    # -- position tracking -----------------------------------------------------
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        """Current 2-D position in apartment coordinates."""
+        return self._position
+
+    def move_to_subloc(self, sr_id: str) -> None:
+        """Teleport to a random point inside sub-region *sr_id*.
+
+        Called when the ground-truth timeline says the resident has settled
+        in a new sub-location; within-region jitter is applied per tick by
+        :meth:`jitter`.
+        """
+        if sr_id != self._current_subloc:
+            self._position = self.layout.sample_position(sr_id, self._rng)
+            self._current_subloc = sr_id
+            self._anchor = self._position
+
+    def jitter(self, scale: float = 0.15, reversion: float = 0.25) -> None:
+        """Within-region wander: mean-reverting toward the settling point.
+
+        An Ornstein-Uhlenbeck step keeps the resident near where they
+        settled in the sub-region instead of random-walking across the
+        apartment (which would wreck iBeacon localisation fidelity).
+        """
+        xmin, ymin, xmax, ymax = self.layout.bounds
+        ax, ay = getattr(self, "_anchor", self._position)
+        x = self._position[0] + reversion * (ax - self._position[0]) + self._rng.normal(0, scale)
+        y = self._position[1] + reversion * (ay - self._position[1]) + self._rng.normal(0, scale)
+        self._position = (float(np.clip(x, xmin, xmax)), float(np.clip(y, ymin, ymax)))
+
+    def localize(self) -> Optional[np.ndarray]:
+        """iBeacon trilateration fix for the phone, or None (no phone/fix)."""
+        if self.beacon_receiver is None:
+            return None
+        return self.beacon_receiver.localize(self._position)

@@ -1,0 +1,220 @@
+"""Multi-inhabitant smart-home discrete-event simulator.
+
+Drives resident agents along ground-truth timelines from the
+:class:`~repro.home.behavior.BehaviorEngine` and polls the apartment's
+ambient sensor fleet, producing (a) an unattributed ambient event stream —
+PIR firings say *a* room is occupied, never *who* is there — and (b)
+per-resident iBeacon fixes.  Ground truth is kept alongside for labelling,
+mirroring the testbed's IP-camera annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.home.behavior import BehaviorEngine, MacroSegment, slice_at
+from repro.home.layout import ApartmentLayout, default_layout
+from repro.home.resident import Resident
+from repro.sensors.events import EventStream, SensorEvent, TagManager
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import check_positive
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated session produced.
+
+    Attributes
+    ----------
+    timelines:
+        Ground truth: resident id -> macro segments (with micro slices).
+    events:
+        Ambient sensor stream (PIR + object events, after radio losses).
+    beacon_fixes:
+        resident id -> list of ``(t, position_estimate_or_None)`` sampled at
+        ``fix_interval_s``.
+    """
+
+    home_id: str
+    duration_s: float
+    resident_ids: Tuple[str, ...]
+    layout: ApartmentLayout
+    timelines: Dict[str, List[MacroSegment]]
+    events: EventStream
+    beacon_fixes: Dict[str, List[Tuple[float, Optional[np.ndarray]]]]
+
+    def truth_at(self, rid: str, t: float) -> Optional[Tuple[str, str, str, str]]:
+        """Ground-truth ``(macro, posture, gesture, subloc)`` for *rid* at *t*."""
+        seg_slice = slice_at(self.timelines[rid], t)
+        if seg_slice is None:
+            return None
+        for seg in self.timelines[rid]:
+            if seg.start <= t < seg.end:
+                return (seg.activity, seg_slice.posture, seg_slice.gesture, seg_slice.subloc)
+        return None
+
+
+@dataclass
+class HomeSimulator:
+    """Runs sessions in one apartment.
+
+    Parameters
+    ----------
+    sensor_tick_s:
+        Ambient sensor polling period (1 s matches the testbed's event rate;
+        raise it to trade fidelity for speed in large sweeps).
+    fix_interval_s:
+        iBeacon trilateration period per resident.
+    """
+
+    home_id: str = "home1"
+    layout: ApartmentLayout = field(default_factory=default_layout)
+    behavior: Optional[BehaviorEngine] = None
+    sensor_tick_s: float = 1.0
+    fix_interval_s: float = 5.0
+    radio_loss_prob: float = 0.01
+    seed: RandomState = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("sensor_tick_s", self.sensor_tick_s)
+        check_positive("fix_interval_s", self.fix_interval_s)
+        self._rng = ensure_rng(self.seed)
+        if self.behavior is None:
+            self.behavior = BehaviorEngine(layout=self.layout, seed=self._rng.integers(0, 2**31))
+
+    def run_session(
+        self,
+        resident_ids: Sequence[str] = ("resident_a", "resident_b"),
+        duration_s: float = 7200.0,
+        with_neck_tag: bool = True,
+    ) -> SimulationResult:
+        """Simulate one recording session and return its full trace."""
+        check_positive("duration_s", duration_s)
+        timelines = self.behavior.generate_session(resident_ids, duration_s)
+        return self.run_timelines(timelines, duration_s, with_neck_tag=with_neck_tag)
+
+    def run_timelines(
+        self,
+        timelines: Dict[str, List[MacroSegment]],
+        duration_s: float,
+        with_neck_tag: bool = True,
+    ) -> SimulationResult:
+        """Simulate the sensors over externally scripted ground truth.
+
+        Used by the CASAS-style generator, whose task schedules are scripted
+        rather than sampled from the behaviour engine.
+        """
+        check_positive("duration_s", duration_s)
+        resident_ids = tuple(timelines)
+        residents = {
+            rid: Resident(
+                resident_id=rid,
+                layout=self.layout,
+                has_neck_tag=with_neck_tag,
+                seed=self._rng.integers(0, 2**31),
+            )
+            for rid in resident_ids
+        }
+
+        manager = TagManager(loss_prob=self.radio_loss_prob, seed=self._rng.integers(0, 2**31))
+        beacon_fixes: Dict[str, List[Tuple[float, Optional[np.ndarray]]]] = {
+            rid: [] for rid in resident_ids
+        }
+        for sensor in self.layout.pir_sensors:
+            sensor.reset()
+        for sensor in self.layout.motion_sensors:
+            sensor.reset()
+
+        next_fix = 0.0
+        t = 0.0
+        while t < duration_s:
+            # -- advance residents along ground truth --------------------------
+            room_moving: Dict[str, int] = {}
+            room_still: Dict[str, int] = {}
+            subloc_moving: Dict[str, int] = {}
+            subloc_still: Dict[str, int] = {}
+            subloc_intensity: Dict[str, Dict[str, float]] = {}
+            for rid, resident in residents.items():
+                truth = _truth_lookup(timelines[rid], t)
+                if truth is None:
+                    continue
+                activity, posture, _gesture, subloc = truth
+                resident.move_to_subloc(subloc)
+                resident.jitter()
+                room = self.layout.room_of(subloc)
+                profile = self.behavior.profile(activity)
+                moving = posture == "walking" or self._rng.random() < profile.mobility
+                if moving:
+                    room_moving[room] = room_moving.get(room, 0) + 1
+                    subloc_moving[subloc] = subloc_moving.get(subloc, 0) + 1
+                else:
+                    room_still[room] = room_still.get(room, 0) + 1
+                    subloc_still[subloc] = subloc_still.get(subloc, 0) + 1
+                # Object interaction intensities at this resident's location.
+                for obj, intensity in profile.objects.items():
+                    per_obj = subloc_intensity.setdefault(subloc, {})
+                    per_obj[obj] = max(per_obj.get(obj, 0.0), intensity)
+
+            # -- ambient sensors -----------------------------------------------
+            for pir in self.layout.pir_sensors:
+                fired = pir.poll(
+                    t,
+                    occupants_moving=room_moving.get(pir.room, 0),
+                    occupants_still=room_still.get(pir.room, 0),
+                )
+                if fired:
+                    manager.deliver(SensorEvent(t, "pir", pir.sensor_id, pir.room))
+            for motion in self.layout.motion_sensors:
+                fired = motion.poll(
+                    t,
+                    occupants_moving=subloc_moving.get(motion.sub_region, 0),
+                    occupants_still=subloc_still.get(motion.sub_region, 0),
+                )
+                if fired:
+                    manager.deliver(
+                        SensorEvent(t, "motion", motion.sensor_id, motion.sub_region)
+                    )
+            for obj_sensor in self.layout.object_sensors:
+                intensity = subloc_intensity.get(obj_sensor.sub_region, {}).get(
+                    obj_sensor.object_name, 0.0
+                )
+                if obj_sensor.poll(t, intensity):
+                    manager.deliver(
+                        SensorEvent(t, "object", obj_sensor.sensor_id, obj_sensor.object_name)
+                    )
+
+            # -- iBeacon fixes --------------------------------------------------
+            if t >= next_fix:
+                for rid, resident in residents.items():
+                    beacon_fixes[rid].append((t, resident.localize()))
+                next_fix = t + self.fix_interval_s
+
+            t += self.sensor_tick_s
+
+        return SimulationResult(
+            home_id=self.home_id,
+            duration_s=duration_s,
+            resident_ids=tuple(resident_ids),
+            layout=self.layout,
+            timelines=timelines,
+            events=manager.stream,
+            beacon_fixes=beacon_fixes,
+        )
+
+
+def _truth_lookup(
+    timeline: Sequence[MacroSegment], t: float
+) -> Optional[Tuple[str, str, str, str]]:
+    """(macro, posture, gesture, subloc) at time *t* from one timeline."""
+    for seg in timeline:
+        if seg.start <= t < seg.end:
+            for sl in seg.slices:
+                if sl.start <= t < sl.end:
+                    return (seg.activity, sl.posture, sl.gesture, sl.subloc)
+            last = seg.slices[-1]
+            return (seg.activity, last.posture, last.gesture, last.subloc)
+    return None

@@ -1,0 +1,31 @@
+"""Micro-activity recognition: features, classifiers, clustering.
+
+Implements the paper's micro level (§VI-D/VII-E): 32 statistical features
+(including Goertzel coefficients of 1-5 Hz) over 1.5 s frames of fused
+acceleration trajectories, change-point-based segmentation, a from-scratch
+random forest (the paper used WEKA's), and deterministic annealing
+clustering used to fit the Gaussian observation models (Augmentation 4).
+"""
+
+from repro.micro.annealing import DeterministicAnnealing
+from repro.micro.changepoint import detect_change_points, segment_stream
+from repro.micro.decision_tree import DecisionTreeClassifier
+from repro.micro.features import FEATURE_COUNT, extract_features, frame_signal
+from repro.micro.goertzel import goertzel_power, goertzel_spectrum
+from repro.micro.pipelines import MicroClassificationReport, MicroPipeline
+from repro.micro.random_forest import RandomForestClassifier
+
+__all__ = [
+    "DeterministicAnnealing",
+    "detect_change_points",
+    "segment_stream",
+    "DecisionTreeClassifier",
+    "FEATURE_COUNT",
+    "extract_features",
+    "frame_signal",
+    "goertzel_power",
+    "goertzel_spectrum",
+    "MicroClassificationReport",
+    "MicroPipeline",
+    "RandomForestClassifier",
+]

@@ -1,0 +1,130 @@
+"""Deterministic annealing clustering (Rose's algorithm).
+
+Augmentation 4 fits multivariate-Gaussian observation models per micro
+state; the paper (following Muncaster & Ma [8]) discovers representative
+low-level states by deterministic annealing: soft k-means run over a
+decreasing temperature schedule, splitting effective clusters as the
+temperature crosses critical values.  DA is far less initialisation-
+sensitive than plain k-means, which matters when cluster sizes are skewed
+(e.g. long sleeping episodes vs brief yawns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass
+class DeterministicAnnealing:
+    """Deterministic-annealing soft clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Maximum number of clusters (codebook size).
+    t_start / t_min:
+        Initial and final temperatures, as multiples of the data variance.
+    cooling:
+        Geometric cooling factor per outer iteration (0 < cooling < 1).
+    """
+
+    n_clusters: int = 8
+    t_start: float = 2.0
+    t_min: float = 0.02
+    cooling: float = 0.8
+    max_inner_iters: int = 60
+    tol: float = 1e-5
+    seed: RandomState = None
+    centers_: Optional[np.ndarray] = field(default=None, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n_clusters", self.n_clusters)
+        check_positive("t_start", self.t_start)
+        check_positive("t_min", self.t_min)
+        check_in_range("cooling", self.cooling, 1e-6, 0.999999)
+        self._rng = ensure_rng(self.seed)
+
+    def fit(self, x: np.ndarray) -> "DeterministicAnnealing":
+        """Cluster ``(n, d)`` points; centres land in :attr:`centers_`."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n, d = x.shape
+        if n == 0:
+            raise ValueError("cannot cluster an empty dataset")
+        k = min(self.n_clusters, n)
+
+        data_var = float(np.mean(np.var(x, axis=0))) + 1e-12
+        temperature = self.t_start * data_var
+        t_floor = self.t_min * data_var
+
+        # Start from the global centroid, with tiny symmetric perturbations:
+        # clusters "split" naturally as the temperature drops.
+        centers = np.tile(x.mean(axis=0), (k, 1))
+        centers += self._rng.normal(0.0, 1e-4 * np.sqrt(data_var), centers.shape)
+
+        while temperature > t_floor:
+            for _ in range(self.max_inner_iters):
+                old = centers.copy()
+                # Soft assignments (Gibbs distribution at this temperature).
+                d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+                d2 -= d2.min(axis=1, keepdims=True)
+                weights = np.exp(-d2 / max(temperature, 1e-12))
+                weights /= weights.sum(axis=1, keepdims=True)
+                mass = weights.sum(axis=0)
+                for j in range(k):
+                    if mass[j] > 1e-12:
+                        centers[j] = (weights[:, j] @ x) / mass[j]
+                if np.max(np.abs(centers - old)) < self.tol:
+                    break
+            # Perturb coincident centres so they can split at lower T.
+            centers += self._rng.normal(0.0, 1e-4 * np.sqrt(temperature), centers.shape)
+            temperature *= self.cooling
+
+        self.centers_ = self._dedupe(centers)
+        return self
+
+    def _dedupe(self, centers: np.ndarray) -> np.ndarray:
+        """Merge centres that never separated (within numerical wobble)."""
+        kept: list = []
+        for c in centers:
+            if all(np.linalg.norm(c - k) > 1e-3 for k in kept):
+                kept.append(c)
+        return np.array(kept)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard assignments to the nearest centre."""
+        if self.centers_ is None:
+            raise RuntimeError("not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        d2 = ((x[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1)
+
+    def fit_gaussians(self, x: np.ndarray, min_points: int = 2) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fit one Gaussian per discovered cluster.
+
+        Returns ``(means, covariances, assignments)``; clusters with fewer
+        than *min_points* members inherit the pooled covariance.
+        """
+        self.fit(x)
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        labels = self.predict(x)
+        k = self.centers_.shape[0]
+        d = x.shape[1]
+        pooled = np.cov(x.T) if x.shape[0] > 1 else np.eye(d)
+        pooled = np.atleast_2d(pooled) + 1e-6 * np.eye(d)
+        means = np.zeros((k, d))
+        covs = np.zeros((k, d, d))
+        for j in range(k):
+            members = x[labels == j]
+            means[j] = members.mean(axis=0) if len(members) else self.centers_[j]
+            if len(members) >= min_points:
+                covs[j] = np.atleast_2d(np.cov(members.T)) + 1e-6 * np.eye(d)
+            else:
+                covs[j] = pooled
+        return means, covs, labels

@@ -1,0 +1,179 @@
+"""CART decision tree classifier (from scratch, numpy).
+
+The paper classifies micro activities with WEKA's random forest; this
+environment has no ML library, so we implement CART with Gini impurity and
+vectorised split search.  Trees support feature subsampling per node (for
+the forest) and probability estimates from leaf class frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import RandomState, ensure_rng
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves carry class probabilities."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    proba: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+def _gini_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity for each row of class-count vectors."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(totals > 0, counts / totals, 0.0)
+    return 1.0 - (p**2).sum(axis=-1)
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; None grows until purity / min_samples_split.
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    max_features:
+        Features examined per split: None = all, otherwise a count
+        (the forest passes ``sqrt(d)``).
+    """
+
+    max_depth: Optional[int] = None
+    min_samples_split: int = 2
+    max_features: Optional[int] = None
+    seed: RandomState = None
+    classes_: Optional[np.ndarray] = field(default=None, init=False)
+    _root: Optional[_Node] = field(default=None, init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self._rng = ensure_rng(self.seed)
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "DecisionTreeClassifier":
+        """Fit the tree on ``(n, d)`` features and labels *y*."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have equal length")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        self._root = self._grow(x, y_idx, depth=0)
+        return self
+
+    def _leaf(self, y_idx: np.ndarray) -> _Node:
+        counts = np.bincount(y_idx, minlength=len(self.classes_)).astype(float)
+        return _Node(proba=counts / counts.sum())
+
+    def _grow(self, x: np.ndarray, y_idx: np.ndarray, depth: int) -> _Node:
+        n = x.shape[0]
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.unique(y_idx).size == 1
+        ):
+            return self._leaf(y_idx)
+
+        feature, threshold = self._best_split(x, y_idx)
+        if feature < 0:
+            return self._leaf(y_idx)
+
+        mask = x[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            return self._leaf(y_idx)
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(x[mask], y_idx[mask], depth + 1)
+        node.right = self._grow(x[~mask], y_idx[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y_idx: np.ndarray) -> tuple:
+        """Vectorised exhaustive split search over a feature subset."""
+        n, d = x.shape
+        n_classes = len(self.classes_)
+        if self.max_features is not None and self.max_features < d:
+            feature_ids = self._rng.choice(d, size=self.max_features, replace=False)
+        else:
+            feature_ids = np.arange(d)
+
+        best_gain = 1e-12
+        best = (-1, 0.0)
+        parent_counts = np.bincount(y_idx, minlength=n_classes).astype(float)
+        parent_gini = float(_gini_from_counts(parent_counts[None, :])[0])
+
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), y_idx] = 1.0
+
+        for f in feature_ids:
+            order = np.argsort(x[:, f], kind="stable")
+            xs = x[order, f]
+            # Cumulative class counts left of each candidate boundary.
+            left_counts = np.cumsum(onehot[order], axis=0)[:-1]
+            right_counts = parent_counts[None, :] - left_counts
+            # Valid boundaries: strictly between distinct feature values.
+            valid = xs[1:] > xs[:-1]
+            if not valid.any():
+                continue
+            n_left = np.arange(1, n)
+            n_right = n - n_left
+            gini_left = _gini_from_counts(left_counts)
+            gini_right = _gini_from_counts(right_counts)
+            weighted = (n_left * gini_left + n_right * gini_right) / n
+            gain = parent_gini - weighted
+            gain[~valid] = -np.inf
+            idx = int(np.argmax(gain))
+            if gain[idx] > best_gain:
+                best_gain = float(gain[idx])
+                best = (int(f), float(0.5 * (xs[idx] + xs[idx + 1])))
+        return best
+
+    # -- inference -----------------------------------------------------------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """``(n, n_classes)`` leaf class frequencies."""
+        if self._root is None or self.classes_ is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out = np.zeros((x.shape[0], len(self.classes_)))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most-probable class labels."""
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

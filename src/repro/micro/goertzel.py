@@ -1,0 +1,52 @@
+"""Goertzel algorithm: single-bin DFT power estimation.
+
+The paper's 32-feature set includes "Goertzel coefficients of 1-5 Hz"; the
+Goertzel algorithm evaluates the DFT at one target frequency in O(n) without
+a full FFT, which is why it is popular on microcontroller-class wearables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def goertzel_power(signal: np.ndarray, sample_rate_hz: float, target_hz: float) -> float:
+    """Normalised signal power at *target_hz*.
+
+    Runs the classic second-order Goertzel recurrence and returns
+    ``|X(f)|^2 / n^2`` so values are comparable across frame lengths.
+    """
+    check_positive("sample_rate_hz", sample_rate_hz)
+    if target_hz < 0 or target_hz > sample_rate_hz / 2:
+        raise ValueError(
+            f"target_hz must be in [0, {sample_rate_hz / 2}] (Nyquist), got {target_hz}"
+        )
+    x = np.asarray(signal, dtype=float).ravel()
+    n = x.size
+    if n == 0:
+        raise ValueError("signal must be non-empty")
+
+    # Nearest DFT bin to the target frequency.
+    k = int(round(n * target_hz / sample_rate_hz))
+    omega = 2.0 * np.pi * k / n
+    coeff = 2.0 * np.cos(omega)
+
+    s_prev = 0.0
+    s_prev2 = 0.0
+    for sample in x:
+        s = sample + coeff * s_prev - s_prev2
+        s_prev2 = s_prev
+        s_prev = s
+    power = s_prev2**2 + s_prev**2 - coeff * s_prev * s_prev2
+    return float(power / (n * n))
+
+
+def goertzel_spectrum(
+    signal: np.ndarray, sample_rate_hz: float, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """Goertzel power at each frequency in *frequencies_hz*."""
+    return np.array(
+        [goertzel_power(signal, sample_rate_hz, float(f)) for f in np.asarray(frequencies_hz)]
+    )

@@ -1,0 +1,185 @@
+"""End-to-end micro-activity classification pipelines (§VII-E).
+
+Ties the whole micro tier together: render labelled 9-axis IMU streams for
+each postural / oral-gestural class, fuse them into absolute acceleration
+trajectories, extract the 32 statistical features per 1.5 s frame, train the
+from-scratch random forest, and report accuracy / false-positive rate — the
+quantities the paper gives as 98.6% / 0.6% (postural) and 95.3% / 1.8%
+(gestural).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.micro.changepoint import majority_smooth, segment_stream
+from repro.micro.features import features_for_trajectory
+from repro.micro.random_forest import RandomForestClassifier
+from repro.sensors.imu import (
+    GESTURAL_SIGNATURES,
+    POSTURAL_SIGNATURES,
+    ImuSimulator,
+)
+from repro.sensors.trajectory import absolute_acceleration
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import check_positive
+
+
+@dataclass
+class MicroClassificationReport:
+    """Test-set quality of a micro classifier."""
+
+    kind: str
+    accuracy: float
+    false_positive_rate: float
+    per_class_accuracy: Dict[str, float]
+    n_train: int
+    n_test: int
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.kind} micro classification: "
+            f"accuracy {self.accuracy:.1%}, FP rate {self.false_positive_rate:.1%} "
+            f"(train n={self.n_train}, test n={self.n_test})"
+        ]
+        for label, acc in sorted(self.per_class_accuracy.items()):
+            lines.append(f"  {label:>10s}: {acc:.1%}")
+        return "\n".join(lines)
+
+
+@dataclass
+class MicroPipeline:
+    """IMU -> trajectory -> features -> random forest, for one micro kind.
+
+    Parameters
+    ----------
+    kind:
+        ``"postural"`` (pocket phone) or ``"gestural"`` (neck tag).
+    sample_rate_hz / frame_s / overlap:
+        Signal-processing parameters; defaults match the paper (50 Hz,
+        1.5 s frames, 50% overlap).
+    """
+
+    kind: str = "postural"
+    sample_rate_hz: float = 50.0
+    frame_s: float = 1.5
+    overlap: float = 0.5
+    n_trees: int = 20
+    seed: RandomState = None
+    classifier: Optional[RandomForestClassifier] = field(default=None, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("postural", "gestural"):
+            raise ValueError(f"kind must be 'postural' or 'gestural', got {self.kind!r}")
+        self._rng = ensure_rng(self.seed)
+
+    @property
+    def class_names(self) -> List[str]:
+        """Micro-activity classes for this kind."""
+        registry = POSTURAL_SIGNATURES if self.kind == "postural" else GESTURAL_SIGNATURES
+        return sorted(registry)
+
+    # -- data generation -----------------------------------------------------
+
+    def generate_dataset(
+        self, seconds_per_class: float = 45.0, sessions_per_class: int = 3
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Render labelled IMU data and extract frame features.
+
+        Returns ``(features, labels)``; each class contributes
+        *sessions_per_class* independent renders (separate device bias
+        draws) of ``seconds_per_class / sessions_per_class`` seconds each.
+        """
+        check_positive("seconds_per_class", seconds_per_class)
+        check_positive("sessions_per_class", sessions_per_class)
+        registry = POSTURAL_SIGNATURES if self.kind == "postural" else GESTURAL_SIGNATURES
+        session_s = seconds_per_class / sessions_per_class
+
+        all_feats: List[np.ndarray] = []
+        all_labels: List[str] = []
+        for name in self.class_names:
+            for _ in range(sessions_per_class):
+                imu = ImuSimulator(
+                    sample_rate_hz=self.sample_rate_hz, seed=self._rng.integers(0, 2**31)
+                )
+                samples = imu.render(registry[name], session_s)
+                trajectory = absolute_acceleration(samples, self.sample_rate_hz)
+                feats, _ = features_for_trajectory(
+                    trajectory, self.sample_rate_hz, self.frame_s, self.overlap
+                )
+                all_feats.append(feats)
+                all_labels.extend([name] * feats.shape[0])
+        return np.vstack(all_feats), np.array(all_labels, dtype=object)
+
+    # -- training / evaluation --------------------------------------------------
+
+    def train(self, features: np.ndarray, labels: np.ndarray) -> "MicroPipeline":
+        """Fit the random forest on extracted features."""
+        self.classifier = RandomForestClassifier(
+            n_trees=self.n_trees, seed=self._rng.integers(0, 2**31)
+        )
+        self.classifier.fit(features, labels)
+        return self
+
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> MicroClassificationReport:
+        """Score held-out frames; FP rate is macro-averaged one-vs-rest."""
+        if self.classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        predicted = self.classifier.predict(features)
+        labels = np.asarray(labels)
+        accuracy = float(np.mean(predicted == labels))
+
+        per_class: Dict[str, float] = {}
+        fp_rates: List[float] = []
+        for cls in self.class_names:
+            mask = labels == cls
+            if mask.any():
+                per_class[cls] = float(np.mean(predicted[mask] == cls))
+            negatives = ~mask
+            if negatives.any():
+                fp_rates.append(float(np.mean(predicted[negatives] == cls)))
+        return MicroClassificationReport(
+            kind=self.kind,
+            accuracy=accuracy,
+            false_positive_rate=float(np.mean(fp_rates)) if fp_rates else 0.0,
+            per_class_accuracy=per_class,
+            n_train=0,
+            n_test=len(labels),
+        )
+
+    def train_and_evaluate(
+        self,
+        seconds_per_class: float = 45.0,
+        test_fraction: float = 0.3,
+    ) -> MicroClassificationReport:
+        """Convenience: generate, split frame-wise, train, score."""
+        feats, labels = self.generate_dataset(seconds_per_class)
+        n = feats.shape[0]
+        order = self._rng.permutation(n)
+        cut = int(round((1.0 - test_fraction) * n))
+        train_idx, test_idx = order[:cut], order[cut:]
+        self.train(feats[train_idx], labels[train_idx])
+        report = self.evaluate(feats[test_idx], labels[test_idx])
+        report.n_train = len(train_idx)
+        return report
+
+    # -- streaming classification --------------------------------------------------
+
+    def classify_stream(self, trajectory: np.ndarray, smooth: bool = True) -> List[str]:
+        """Frame labels for a continuous trajectory, change-point smoothed."""
+        if self.classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        feats, _ = features_for_trajectory(
+            trajectory, self.sample_rate_hz, self.frame_s, self.overlap
+        )
+        if feats.shape[0] == 0:
+            return []
+        labels = [str(v) for v in self.classifier.predict(feats)]
+        if smooth and len(labels) > 4:
+            segments = segment_stream(feats)
+            labels = majority_smooth(labels, segments)
+        return labels

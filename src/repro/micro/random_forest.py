@@ -1,0 +1,90 @@
+"""Random forest classifier: bagged CART trees with feature subsampling.
+
+Drop-in analogue of the WEKA RandomForest the paper used for postural and
+oral-gestural classification; probabilities are averaged across trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.micro.decision_tree import DecisionTreeClassifier
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import check_positive
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bagging ensemble of CART trees.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size (paper-scale workloads do fine with 15-30).
+    max_depth:
+        Per-tree depth cap.
+    max_features:
+        Features per split; None uses ``ceil(sqrt(d))``.
+    """
+
+    n_trees: int = 20
+    max_depth: Optional[int] = 12
+    max_features: Optional[int] = None
+    seed: RandomState = None
+    classes_: Optional[np.ndarray] = field(default=None, init=False)
+    trees_: List[DecisionTreeClassifier] = field(default_factory=list, init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n_trees", self.n_trees)
+        self._rng = ensure_rng(self.seed)
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "RandomForestClassifier":
+        """Fit the ensemble on bootstrap resamples of ``(x, y)``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must align")
+        n, d = x.shape
+        self.classes_ = np.unique(y)
+        max_features = self.max_features or int(np.ceil(np.sqrt(d)))
+
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            idx = self._rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                seed=self._rng.integers(0, 2**31),
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Tree-averaged class probabilities aligned to :attr:`classes_`."""
+        if not self.trees_ or self.classes_ is None:
+            raise RuntimeError("forest is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        total = np.zeros((x.shape[0], len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.trees_:
+            proba = tree.predict_proba(x)
+            # Bootstrap samples can miss classes; align by label.
+            for j, cls in enumerate(tree.classes_):
+                total[:, class_pos[cls]] += proba[:, j]
+        return total / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most-probable class labels."""
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, x: np.ndarray, y: Sequence) -> float:
+        """Mean accuracy on ``(x, y)``."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))

@@ -1,0 +1,182 @@
+"""Apriori frequent-itemset mining and rule generation.
+
+Implements the classic levelwise Apriori algorithm (paper §V-A) with a
+numpy-vectorised counting core: transactions become a boolean incidence
+matrix, pair supports come from one matrix product, and larger itemsets are
+counted by masking the incidence columns of their prefix.  The paper's
+operating point — ``minSup = 4%``, ``minConf = 99%`` — is the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mining.context_rules import Item
+from repro.mining.rules import AssociationRule
+from repro.util.validation import check_positive, check_probability
+
+
+@dataclass
+class FrequentItemsets:
+    """Mining result: itemset -> support (fraction of transactions)."""
+
+    supports: Dict[FrozenSet[Item], float]
+    n_transactions: int
+
+    def support(self, itemset: FrozenSet[Item]) -> float:
+        """Support of *itemset* (0.0 when not frequent)."""
+        return self.supports.get(itemset, 0.0)
+
+    def of_size(self, k: int) -> List[FrozenSet[Item]]:
+        """All frequent itemsets with exactly *k* elements."""
+        return [s for s in self.supports if len(s) == k]
+
+
+@dataclass
+class Apriori:
+    """Levelwise frequent-itemset miner.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum fraction of transactions containing the itemset (paper: 4%).
+    min_confidence:
+        Minimum rule confidence (paper: 99%).
+    max_itemset_size:
+        Lattice depth cap; 3 supports the paper's rule shapes
+        (two antecedent elements plus one consequent).
+    """
+
+    min_support: float = 0.04
+    min_confidence: float = 0.99
+    max_itemset_size: int = 3
+    itemsets_: FrequentItemsets = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_probability("min_support", self.min_support)
+        check_probability("min_confidence", self.min_confidence)
+        check_positive("max_itemset_size", self.max_itemset_size)
+
+    # -- frequent itemsets ------------------------------------------------------
+
+    def mine_itemsets(self, transactions: Sequence[FrozenSet[Item]]) -> FrequentItemsets:
+        """Find all frequent itemsets up to :attr:`max_itemset_size`."""
+        n = len(transactions)
+        if n == 0:
+            raise ValueError("cannot mine an empty transaction list")
+
+        # Build the item universe and boolean incidence matrix.
+        universe: List[Item] = sorted({item for t in transactions for item in t})
+        index = {item: i for i, item in enumerate(universe)}
+        incidence = np.zeros((n, len(universe)), dtype=bool)
+        for row, transaction in enumerate(transactions):
+            for item in transaction:
+                incidence[row, index[item]] = True
+
+        min_count = self.min_support * n
+        supports: Dict[FrozenSet[Item], float] = {}
+
+        # L1.
+        counts1 = incidence.sum(axis=0)
+        frequent1 = [i for i in range(len(universe)) if counts1[i] >= min_count]
+        for i in frequent1:
+            supports[frozenset([universe[i]])] = counts1[i] / n
+
+        # L2 via one matrix product over the frequent-item columns.
+        level: List[Tuple[int, ...]] = []
+        if self.max_itemset_size >= 2 and frequent1:
+            sub = incidence[:, frequent1].astype(np.int32)
+            pair_counts = sub.T @ sub
+            for a in range(len(frequent1)):
+                for b in range(a + 1, len(frequent1)):
+                    if pair_counts[a, b] >= min_count:
+                        ia, ib = frequent1[a], frequent1[b]
+                        supports[frozenset([universe[ia], universe[ib]])] = (
+                            pair_counts[a, b] / n
+                        )
+                        level.append((ia, ib))
+
+        # L3+ : extend each frequent k-set with frequent single items.
+        frequent1_set = set(frequent1)
+        size = 3
+        while size <= self.max_itemset_size and level:
+            next_level: List[Tuple[int, ...]] = []
+            seen: set = set()
+            for combo in level:
+                mask = np.logical_and.reduce(incidence[:, list(combo)], axis=1)
+                if not mask.any():
+                    continue
+                ext_counts = incidence[mask].sum(axis=0)
+                for j in frequent1_set:
+                    if j <= combo[-1]:
+                        continue
+                    candidate = combo + (j,)
+                    if candidate in seen:
+                        continue
+                    # Apriori property: all (k-1)-subsets must be frequent.
+                    if not self._subsets_frequent(candidate, supports, universe):
+                        continue
+                    if ext_counts[j] >= min_count:
+                        seen.add(candidate)
+                        supports[frozenset(universe[i] for i in candidate)] = (
+                            ext_counts[j] / n
+                        )
+                        next_level.append(candidate)
+            level = next_level
+            size += 1
+
+        self.itemsets_ = FrequentItemsets(supports=supports, n_transactions=n)
+        return self.itemsets_
+
+    @staticmethod
+    def _subsets_frequent(
+        candidate: Tuple[int, ...],
+        supports: Dict[FrozenSet[Item], float],
+        universe: List[Item],
+    ) -> bool:
+        full = [universe[i] for i in candidate]
+        for drop in range(len(full)):
+            subset = frozenset(full[:drop] + full[drop + 1 :])
+            if subset not in supports:
+                return False
+        return True
+
+    # -- rules ---------------------------------------------------------------------
+
+    def mine_rules(
+        self,
+        transactions: Sequence[FrozenSet[Item]],
+        consequent_attrs: Tuple[str, ...] = ("macro",),
+    ) -> List[AssociationRule]:
+        """Mine rules whose consequent attribute is in *consequent_attrs*.
+
+        Every frequent itemset of size >= 2 yields candidate rules with a
+        single-item consequent; rules below :attr:`min_confidence` are
+        discarded.
+        """
+        itemsets = self.mine_itemsets(transactions)
+        rules: List[AssociationRule] = []
+        for itemset, support in itemsets.supports.items():
+            if len(itemset) < 2:
+                continue
+            for consequent in itemset:
+                if consequent.attr not in consequent_attrs:
+                    continue
+                antecedent = frozenset(itemset - {consequent})
+                ant_support = itemsets.support(antecedent)
+                if ant_support <= 0:
+                    continue
+                confidence = support / ant_support
+                if confidence >= self.min_confidence:
+                    rules.append(
+                        AssociationRule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            support=support,
+                            confidence=min(confidence, 1.0),
+                        )
+                    )
+        return rules

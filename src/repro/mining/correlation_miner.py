@@ -1,0 +1,277 @@
+"""Correlation mining: deterministic must / must-not relationships (§V-B).
+
+Runs Apriori over context transactions and distils two deterministic
+structures used to prune the coupled model's joint state space:
+
+* **forcing rules** — high-confidence association rules whose consequent is
+  a hidden attribute at time t (e.g. ``U1:posture=cycling & U1:subloc=SR1
+  => U1:macro=exercising``): a joint state hypothesis that fires a rule's
+  antecedent but contradicts its consequent is infeasible;
+* **exclusion rules** — frequent element pairs across users that *never*
+  co-occur despite ample expected opportunity (e.g. both residents in the
+  single-occupancy bathroom): any joint state containing both is pruned.
+
+Both kinds are indexed by trigger item so per-candidate consistency checks
+stay cheap at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.datasets.trace import LabeledSequence
+from repro.mining.apriori import Apriori
+from repro.mining.context_rules import Item, encode_dataset
+from repro.mining.rules import AssociationRule, ExclusionRule, merge_redundant
+
+
+@dataclass
+class CorrelationRuleSet:
+    """Mined deterministic correlations with fast consistency checking."""
+
+    forcing_rules: List[AssociationRule] = field(default_factory=list)
+    exclusions: List[ExclusionRule] = field(default_factory=list)
+    _forcing_by_trigger: Dict[Item, List[AssociationRule]] = field(
+        default_factory=dict, repr=False
+    )
+    _exclusion_partners: Dict[Item, Set[Item]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild trigger indexes after mutating the rule lists."""
+        self._forcing_by_trigger = {}
+        for rule in self.forcing_rules:
+            trigger = min(rule.antecedent)
+            self._forcing_by_trigger.setdefault(trigger, []).append(rule)
+        self._exclusion_partners = {}
+        for excl in self.exclusions:
+            if not excl.hard:
+                continue  # soft exclusions penalise, they never prune
+            self._exclusion_partners.setdefault(excl.a, set()).add(excl.b)
+            self._exclusion_partners.setdefault(excl.b, set()).add(excl.a)
+
+    @property
+    def hard_exclusions(self):
+        """Exclusions safe to prune on (physically grounded)."""
+        return [e for e in self.exclusions if e.hard]
+
+    @property
+    def soft_exclusions(self):
+        """Behavioural exclusions, applied as log penalties."""
+        return [e for e in self.exclusions if not e.hard]
+
+    @property
+    def n_rules(self) -> int:
+        """Total rule count (forcing + exclusion)."""
+        return len(self.forcing_rules) + len(self.exclusions)
+
+    def is_consistent(self, items: FrozenSet[Item]) -> bool:
+        """Can this joint assignment coexist with every mined rule?"""
+        for item in items:
+            partners = self._exclusion_partners.get(item)
+            if partners and not partners.isdisjoint(items):
+                return False
+        for item in items:
+            for rule in self._forcing_by_trigger.get(item, ()):
+                if not rule.satisfied_by(items):
+                    return False
+        return True
+
+    def single_user(self) -> "CorrelationRuleSet":
+        """Rules involving a single user slot (plus ambient context).
+
+        Used both for per-user state pruning and by the NCR strategy, which
+        must not see any cross-user relationship.  Rules phrased on other
+        user slots (symmetrised mirrors) are canonicalised to ``u1`` and
+        deduplicated.
+        """
+
+        def _canon(item: Item) -> Item:
+            return Item("u1", item.time, item.attr, item.value) if item.slot != "amb" else item
+
+        seen = set()
+        forcing = []
+        for rule in self.forcing_rules:
+            user_slots = {i.slot for i in rule.antecedent if i.slot != "amb"} | {
+                rule.consequent.slot
+            }
+            user_slots.discard("amb")
+            if len(user_slots) != 1:
+                continue
+            canonical = AssociationRule(
+                antecedent=frozenset(_canon(i) for i in rule.antecedent),
+                consequent=_canon(rule.consequent),
+                support=rule.support,
+                confidence=rule.confidence,
+            )
+            key = (canonical.antecedent, canonical.consequent)
+            if key not in seen:
+                seen.add(key)
+                forcing.append(canonical)
+        return CorrelationRuleSet(forcing_rules=forcing, exclusions=[])
+
+    def cross_user(self) -> "CorrelationRuleSet":
+        """Rules that relate different user slots (plus all exclusions)."""
+        forcing = [
+            r
+            for r in self.forcing_rules
+            if len({i.slot for i in r.antecedent if i.slot != "amb"} | {r.consequent.slot}) > 1
+        ]
+        return CorrelationRuleSet(forcing_rules=forcing, exclusions=list(self.exclusions))
+
+    def merge(self, other: "CorrelationRuleSet") -> "CorrelationRuleSet":
+        """Union of two rule sets (used to add user-supplied initial rules)."""
+        seen_f = {(r.antecedent, r.consequent) for r in self.forcing_rules}
+        forcing = list(self.forcing_rules)
+        for rule in other.forcing_rules:
+            if (rule.antecedent, rule.consequent) not in seen_f:
+                forcing.append(rule)
+        seen_e = {frozenset((e.a, e.b)) for e in self.exclusions}
+        exclusions = list(self.exclusions)
+        for excl in other.exclusions:
+            if frozenset((excl.a, excl.b)) not in seen_e:
+                exclusions.append(excl)
+        return CorrelationRuleSet(forcing_rules=forcing, exclusions=exclusions)
+
+    def describe(self, limit: Optional[int] = None) -> str:
+        """Human-readable rule dump (Table IV style)."""
+        lines = [str(r) for r in self.forcing_rules]
+        lines.extend(str(e) for e in self.exclusions)
+        if limit is not None:
+            lines = lines[:limit]
+        return "\n".join(lines)
+
+
+@dataclass
+class CorrelationMiner:
+    """Mines a :class:`CorrelationRuleSet` from labelled sequences.
+
+    Parameters
+    ----------
+    min_support / min_confidence:
+        Apriori thresholds; the paper's operating point is 4% / 99%.
+    hidden_attrs:
+        Consequent attributes worth forcing (hidden state components).
+    min_expected_cooccurrence:
+        An exclusion is only claimed when the two elements were expected to
+        co-occur at least this many times under independence — guards
+        against declaring "must not" from sparse data.
+    """
+
+    min_support: float = 0.04
+    min_confidence: float = 0.99
+    max_itemset_size: int = 3
+    hidden_attrs: Tuple[str, ...] = ("macro", "subloc")
+    min_expected_cooccurrence: float = 10.0
+    symmetrize: bool = True
+
+    def mine(self, sequences: Sequence[LabeledSequence]) -> CorrelationRuleSet:
+        """Run the full pipeline: encode, Apriori, filter, index."""
+        transactions = encode_dataset(sequences, symmetrize=self.symmetrize)
+        return self.mine_transactions(transactions)
+
+    def mine_transactions(
+        self, transactions: Sequence[FrozenSet[Item]]
+    ) -> CorrelationRuleSet:
+        """Mine from pre-encoded transactions."""
+        apriori = Apriori(
+            min_support=self.min_support,
+            min_confidence=self.min_confidence,
+            max_itemset_size=self.max_itemset_size,
+        )
+        raw_rules = apriori.mine_rules(transactions, consequent_attrs=self.hidden_attrs)
+        forcing = merge_redundant(self._filter_forcing(raw_rules))
+        exclusions = self._mine_exclusions(transactions, apriori)
+        return CorrelationRuleSet(forcing_rules=forcing, exclusions=exclusions)
+
+    # -- filters --------------------------------------------------------------------
+
+    def _filter_forcing(self, rules: Iterable[AssociationRule]) -> List[AssociationRule]:
+        """Keep same-time rules usable for state pruning.
+
+        The antecedent must live entirely in the current slice and concern a
+        single user (plus optionally ambient evidence); the consequent must
+        be a hidden attribute of a user at time t.  Rules whose antecedent
+        already contains the consequent's attribute are tautological.
+        """
+        kept: List[AssociationRule] = []
+        for rule in rules:
+            if rule.consequent.time != "t" or rule.consequent.slot == "amb":
+                continue
+            if any(item.time != "t" for item in rule.antecedent):
+                continue
+            ant_attrs = {
+                (item.slot, item.attr) for item in rule.antecedent if item.slot != "amb"
+            }
+            if (rule.consequent.slot, rule.consequent.attr) in ant_attrs:
+                continue
+            # Room items duplicate sub-location information; a rule whose
+            # antecedent is only the enclosing room of the consequent is
+            # uninformative for pruning.
+            if all(item.attr == "room" for item in rule.antecedent):
+                continue
+            kept.append(rule)
+        return kept
+
+    def _mine_exclusions(
+        self, transactions: Sequence[FrozenSet[Item]], apriori: Apriori
+    ) -> List[ExclusionRule]:
+        """Frequent cross-user element pairs that never co-occur."""
+        n = len(transactions)
+        itemsets = apriori.itemsets_
+        singles = {next(iter(s)): sup for s, sup in itemsets.supports.items() if len(s) == 1}
+        # Candidate pairs: same attribute + value, different user slots,
+        # current slice (the "two people in one bathroom" shape), plus
+        # cross-user macro pairs (the "sleeping vs vacuuming" shape).
+        items = [i for i in singles if i.slot.startswith("u") and i.time == "t"]
+        pair_count: Dict[Tuple[Item, Item], int] = {}
+        candidates: List[Tuple[Item, Item]] = []
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                if a.slot == b.slot:
+                    continue
+                same_place = a.attr == b.attr == "subloc" and a.value == b.value
+                macro_pair = a.attr == b.attr == "macro"
+                if not (same_place or macro_pair):
+                    continue
+                expected = singles[a] * singles[b] * n
+                if expected < self.min_expected_cooccurrence:
+                    continue
+                candidates.append((a, b))
+                pair_count[(a, b)] = 0
+        if not candidates:
+            return []
+        for transaction in transactions:
+            for pair in candidates:
+                if pair[0] in transaction and pair[1] in transaction:
+                    pair_count[pair] += 1
+        # "A => not B" holds at the miner's confidence level when the
+        # observed co-occurrence rate P(B | A) stays below 1 - minConf.
+        # Requiring literally zero co-occurrences is brittle: a single
+        # mislabelled step (or a hand-off through a doorway) would erase a
+        # true exclusion such as the single-occupancy bathroom.
+        #
+        # Same-place pairs are *hard* (two residents genuinely cannot both
+        # occupy the bathroom); macro-macro pairs are *soft* — "we never saw
+        # them watch TV while the other played games" is behaviour, not
+        # physics, and the recognisers penalise rather than prune it.
+        tolerance = 1.0 - self.min_confidence
+        exclusions = []
+        for (a, b) in candidates:
+            occurrences = min(singles[a], singles[b]) * n
+            if pair_count[(a, b)] <= tolerance * occurrences:
+                exclusions.append(
+                    ExclusionRule(
+                        a=a,
+                        b=b,
+                        support_a=singles[a],
+                        support_b=singles[b],
+                        hard=(a.attr == "subloc"),
+                    )
+                )
+        return exclusions

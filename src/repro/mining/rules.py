@@ -1,0 +1,124 @@
+"""Association and exclusion rules with support / confidence semantics.
+
+A :class:`AssociationRule` ``<c1, ..., cn => R>`` asserts R holds whenever
+all antecedent elements hold (paper §V-A); its quality is measured by
+*support* (fraction of transactions containing antecedent and consequent)
+and *confidence* (support / antecedent support).  An :class:`ExclusionRule`
+captures deterministic *must-not* correlations — two frequent elements that
+never co-occur (e.g. both residents in the single bathroom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.mining.context_rules import Item, format_item
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent => consequent`` with mined quality measures."""
+
+    antecedent: FrozenSet[Item]
+    consequent: Item
+    support: float
+    confidence: float
+
+    def fires(self, items: FrozenSet[Item]) -> bool:
+        """True when every antecedent element is present in *items*."""
+        return self.antecedent.issubset(items)
+
+    def satisfied_by(self, items: FrozenSet[Item]) -> bool:
+        """True when the rule does not contradict *items*.
+
+        A rule is violated only if it fires and *items* assigns the
+        consequent's (slot, time, attr) a *different* value; an absent
+        attribute is not a violation (open-world reading).
+        """
+        if not self.fires(items):
+            return True
+        if self.consequent in items:
+            return True
+        key = (self.consequent.slot, self.consequent.time, self.consequent.attr)
+        for item in items:
+            if (item.slot, item.time, item.attr) == key and item.value != self.consequent.value:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        lhs = " & ".join(sorted(format_item(i) for i in self.antecedent))
+        return f"{lhs} => {format_item(self.consequent)} (sup={self.support:.3f}, conf={self.confidence:.2f})"
+
+
+@dataclass(frozen=True)
+class ExclusionRule:
+    """Two context elements that must not hold simultaneously.
+
+    ``hard`` distinguishes physically grounded exclusions (two residents in
+    one single-occupancy sub-location) from statistically mined behavioural
+    ones (two macro activities never observed together).  Hard exclusions
+    prune joint states outright; soft ones contribute a log penalty instead
+    — a never-co-occurring macro pair in a finite training sample is strong
+    negative correlation, not impossibility, and hard-pruning it mislabels
+    entire segments on the day the residents break the pattern.
+    """
+
+    a: Item
+    b: Item
+    support_a: float
+    support_b: float
+    hard: bool = True
+
+    def violated_by(self, items: FrozenSet[Item]) -> bool:
+        """True when *items* contains both excluded elements."""
+        return self.a in items and self.b in items
+
+    def __str__(self) -> str:
+        kind = "hard" if self.hard else "soft"
+        return (
+            f"{format_item(self.a)} => NOT {format_item(self.b)} "
+            f"({kind}, sup {self.support_a:.3f}/{self.support_b:.3f})"
+        )
+
+
+def merge_redundant(rules: Iterable[AssociationRule]) -> List[AssociationRule]:
+    """Drop rules implied by a more general rule with the same consequent.
+
+    The paper merges "redundant (e.g., transitive) rules" before deploying
+    them (47 final rules on CASAS).  A rule ``A => c`` is redundant when
+    some kept rule ``B => c`` exists with ``B`` a proper subset of ``A`` and
+    confidence at least as high.
+    """
+    by_consequent: dict = {}
+    for rule in rules:
+        by_consequent.setdefault(rule.consequent, []).append(rule)
+
+    kept: List[AssociationRule] = []
+    for consequent, group in by_consequent.items():
+        # Most general (smallest antecedent), then most confident, first.
+        group = sorted(group, key=lambda r: (len(r.antecedent), -r.confidence))
+        chosen: List[AssociationRule] = []
+        for rule in group:
+            dominated = any(
+                other.antecedent < rule.antecedent and other.confidence >= rule.confidence
+                for other in chosen
+            )
+            if not dominated:
+                chosen.append(rule)
+        kept.extend(chosen)
+    return kept
+
+
+def rules_referencing(rules: Iterable[AssociationRule], attr: str) -> List[AssociationRule]:
+    """Rules whose consequent concerns attribute *attr* (e.g. ``"macro"``)."""
+    return [r for r in rules if r.consequent.attr == attr]
+
+
+def vocabulary(rules: Iterable[AssociationRule]) -> Set[Item]:
+    """All items mentioned anywhere in *rules*."""
+    vocab: Set[Item] = set()
+    for rule in rules:
+        vocab.update(rule.antecedent)
+        vocab.add(rule.consequent)
+    return vocab

@@ -1,0 +1,40 @@
+"""Probabilistic models: shared distributions and the baseline recognisers.
+
+Contains the building blocks (label indexing, conditional probability
+tables, Gaussian emissions, Viterbi / forward-backward / EM) and the three
+prior-work baselines the paper compares against:
+
+* :class:`~repro.models.hmm.MacroHmm` — per-user flat HMM (Singla et al.
+  [9]): no hierarchy, no coupling.
+* :class:`~repro.models.chmm.CoupledHmm` — CHMM (Roy et al. [4]): coupled
+  macro transitions, ambient + postural context, no hierarchy.
+* :class:`~repro.models.fcrf.FactorialCrf` — FCRF (Wang et al. [5]):
+  discriminative factorial chain over wearable features.
+"""
+
+from repro.models.chmm import CoupledHmm
+from repro.models.distributions import (
+    Cpt,
+    GaussianEmission,
+    LabelIndex,
+    log_normalize,
+    normalize,
+)
+from repro.models.em import em_fit_hmm
+from repro.models.fcrf import FactorialCrf
+from repro.models.hmm import MacroHmm
+from repro.models.viterbi import forward_backward, viterbi_decode
+
+__all__ = [
+    "CoupledHmm",
+    "Cpt",
+    "GaussianEmission",
+    "LabelIndex",
+    "log_normalize",
+    "normalize",
+    "em_fit_hmm",
+    "FactorialCrf",
+    "MacroHmm",
+    "forward_backward",
+    "viterbi_decode",
+]

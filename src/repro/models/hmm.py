@@ -1,0 +1,93 @@
+"""Per-user flat macro HMM — the Singla et al. [9] baseline.
+
+"Built an individual HMM model for each user": one chain per resident over
+the 11 macro activities, Gaussian emissions directly on the per-frame
+wearable feature vector, no hierarchy, no location reasoning, no coupling.
+This is also the paper's **NH** (Naive-HMM) pruning strategy: the full
+macro state space with frame features directly labelled by macro activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.trace import Dataset, LabeledSequence
+from repro.models.distributions import Cpt, GaussianEmission, LabelIndex
+from repro.models.inputs import step_features
+from repro.models.viterbi import forward_backward, viterbi_decode
+
+
+@dataclass
+class MacroHmm:
+    """Flat HMM over macro activities, one independent chain per resident."""
+
+    alpha: float = 0.5
+    macro_index: Optional[LabelIndex] = field(default=None, init=False)
+    prior_: Optional[np.ndarray] = field(default=None, init=False)
+    trans_: Optional[np.ndarray] = field(default=None, init=False)
+    emission_: Optional[GaussianEmission] = field(default=None, init=False, repr=False)
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, train: Dataset) -> "MacroHmm":
+        """Supervised estimation from labelled sequences."""
+        self.macro_index = LabelIndex(train.macro_vocab)
+        n_m = len(self.macro_index)
+        prior_c = Cpt((n_m,), alpha=self.alpha)
+        trans_c = Cpt((n_m, n_m), alpha=self.alpha)
+
+        all_features: List[np.ndarray] = []
+        all_states: List[int] = []
+        for seq in train.sequences:
+            for rid in seq.resident_ids:
+                labels = [self.macro_index.index(m) for m in seq.macro_labels(rid)]
+                if not labels:
+                    continue
+                prior_c.observe(labels[0])
+                for a, b in zip(labels[:-1], labels[1:]):
+                    trans_c.observe(a, b)
+                all_features.append(step_features(seq, rid))
+                all_states.extend(labels)
+
+        self.prior_ = prior_c.probabilities()
+        self.trans_ = trans_c.probabilities()
+        features = np.vstack(all_features)
+        self.emission_ = GaussianEmission(dim=features.shape[1]).fit(
+            features, np.array(all_states)
+        )
+        return self
+
+    # -- inference ----------------------------------------------------------------
+
+    def _log_emissions(self, seq: LabeledSequence, rid: str) -> np.ndarray:
+        features = step_features(seq, rid)
+        n_m = len(self.macro_index)
+        out = np.zeros((features.shape[0], n_m))
+        for t in range(features.shape[0]):
+            out[t] = self.emission_.log_pdf_many(range(n_m), features[t])
+        return out
+
+    def predict(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """Viterbi macro labels per resident (chains decoded independently)."""
+        if self.macro_index is None:
+            raise RuntimeError("model is not fitted")
+        out: Dict[str, List[str]] = {}
+        for rid in seq.resident_ids:
+            log_e = self._log_emissions(seq, rid)
+            path, _ = viterbi_decode(np.log(self.prior_), np.log(self.trans_), log_e)
+            out[rid] = [self.macro_index.label(i) for i in path]
+        return out
+
+    def predict_proba(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+        """Posterior macro marginals ``(T, M)`` per resident."""
+        if self.macro_index is None:
+            raise RuntimeError("model is not fitted")
+        out: Dict[str, np.ndarray] = {}
+        for rid in seq.resident_ids:
+            log_e = self._log_emissions(seq, rid)
+            gamma, _, _ = forward_backward(np.log(self.prior_), np.log(self.trans_), log_e)
+            out[rid] = gamma
+        return out

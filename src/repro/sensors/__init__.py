@@ -1,0 +1,42 @@
+"""Sensing substrate: wearable IMUs, ambient sensors, and event plumbing.
+
+This package simulates the hardware complement of the paper's PogoPlug
+testbed: 9-axis inertial measurement units (smartphone in pocket + Simplelink
+SensorTag at the neck), binary PIR motion sensors, binary vibration object
+sensors, and iBeacons used for sub-region localisation and multiple-occupancy
+detection.  All simulated signals flow through :class:`~repro.sensors.events.
+EventStream`, the analogue of the testbed's Ethernet tag manager.
+"""
+
+from repro.sensors.events import EventStream, SensorEvent, TagManager
+from repro.sensors.ibeacon import Beacon, BeaconReceiver, trilaterate
+from repro.sensors.imu import ImuSample, ImuSimulator, MotionSignature, signature_for
+from repro.sensors.object_sensor import ObjectSensor
+from repro.sensors.pir import PirSensor
+from repro.sensors.quaternion import Quaternion
+from repro.sensors.trajectory import (
+    OrientationFilter,
+    absolute_acceleration,
+    high_pass,
+    relative_trajectory,
+)
+
+__all__ = [
+    "EventStream",
+    "SensorEvent",
+    "TagManager",
+    "Beacon",
+    "BeaconReceiver",
+    "trilaterate",
+    "ImuSample",
+    "ImuSimulator",
+    "MotionSignature",
+    "signature_for",
+    "ObjectSensor",
+    "PirSensor",
+    "Quaternion",
+    "OrientationFilter",
+    "absolute_acceleration",
+    "high_pass",
+    "relative_trajectory",
+]

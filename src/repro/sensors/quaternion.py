@@ -1,0 +1,163 @@
+"""Unit-quaternion algebra for 9-axis IMU orientation.
+
+The paper represents device orientation as quaternions and computes the
+smartphone position relative to the neck-mounted SensorTag frame as
+``w = q_t . w0 . q_t^{-1}`` (Eqn 16).  This module provides exactly the
+operations that computation needs: Hamilton products, conjugation,
+normalisation, vector rotation, axis-angle construction, rotation matrices,
+and spherical interpolation for smooth simulated orientation trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Quaternion:
+    """A quaternion ``q = w + x*i + y*j + z*k`` (scalar-first convention)."""
+
+    w: float
+    x: float
+    y: float
+    z: float
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def identity() -> "Quaternion":
+        """The rotation-free quaternion."""
+        return Quaternion(1.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_axis_angle(axis: Iterable[float], angle: float) -> "Quaternion":
+        """Quaternion rotating by *angle* radians around *axis*."""
+        ax = np.asarray(list(axis), dtype=float)
+        norm = np.linalg.norm(ax)
+        if norm == 0:
+            raise ValueError("rotation axis must be non-zero")
+        ax = ax / norm
+        half = angle / 2.0
+        s = np.sin(half)
+        return Quaternion(float(np.cos(half)), float(ax[0] * s), float(ax[1] * s), float(ax[2] * s))
+
+    @staticmethod
+    def from_array(arr: Iterable[float]) -> "Quaternion":
+        """Build from a length-4 ``[w, x, y, z]`` sequence."""
+        w, x, y, z = (float(v) for v in arr)
+        return Quaternion(w, x, y, z)
+
+    @staticmethod
+    def from_euler(roll: float, pitch: float, yaw: float) -> "Quaternion":
+        """Quaternion from intrinsic Z-Y-X Euler angles (radians)."""
+        cr, sr = np.cos(roll / 2), np.sin(roll / 2)
+        cp, sp = np.cos(pitch / 2), np.sin(pitch / 2)
+        cy, sy = np.cos(yaw / 2), np.sin(yaw / 2)
+        return Quaternion(
+            float(cr * cp * cy + sr * sp * sy),
+            float(sr * cp * cy - cr * sp * sy),
+            float(cr * sp * cy + sr * cp * sy),
+            float(cr * cp * sy - sr * sp * cy),
+        )
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "Quaternion") -> "Quaternion":
+        """Hamilton product ``self * other``."""
+        w1, x1, y1, z1 = self.w, self.x, self.y, self.z
+        w2, x2, y2, z2 = other.w, other.x, other.y, other.z
+        return Quaternion(
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        )
+
+    def conjugate(self) -> "Quaternion":
+        """``q* = w - xi - yj - zk``."""
+        return Quaternion(self.w, -self.x, -self.y, -self.z)
+
+    def norm(self) -> float:
+        """Euclidean magnitude ``|q|``."""
+        return float(np.sqrt(self.w**2 + self.x**2 + self.y**2 + self.z**2))
+
+    def normalized(self) -> "Quaternion":
+        """Unit quaternion with the same orientation."""
+        n = self.norm()
+        if n == 0:
+            raise ValueError("cannot normalise the zero quaternion")
+        return Quaternion(self.w / n, self.x / n, self.y / n, self.z / n)
+
+    def inverse(self) -> "Quaternion":
+        """Multiplicative inverse ``q^{-1} = q* / |q|^2``."""
+        n2 = self.norm() ** 2
+        if n2 == 0:
+            raise ValueError("the zero quaternion has no inverse")
+        c = self.conjugate()
+        return Quaternion(c.w / n2, c.x / n2, c.y / n2, c.z / n2)
+
+    # -- geometry ----------------------------------------------------------
+
+    def rotate(self, vec: Iterable[float]) -> np.ndarray:
+        """Rotate a 3-vector: the Eqn 16 sandwich ``q . (0, v) . q^{-1}``."""
+        v = np.asarray(list(vec), dtype=float)
+        if v.shape != (3,):
+            raise ValueError(f"expected a 3-vector, got shape {v.shape}")
+        p = Quaternion(0.0, float(v[0]), float(v[1]), float(v[2]))
+        out = self * p * self.inverse()
+        return np.array([out.x, out.y, out.z])
+
+    def to_rotation_matrix(self) -> np.ndarray:
+        """3x3 rotation matrix of the (normalised) quaternion."""
+        q = self.normalized()
+        w, x, y, z = q.w, q.x, q.y, q.z
+        return np.array(
+            [
+                [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+                [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+                [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+            ]
+        )
+
+    def to_array(self) -> np.ndarray:
+        """``[w, x, y, z]`` as a numpy array."""
+        return np.array([self.w, self.x, self.y, self.z])
+
+    def axis_angle(self) -> Tuple[np.ndarray, float]:
+        """Recover (axis, angle) from a unit quaternion."""
+        q = self.normalized()
+        # Keep the scalar part non-negative so the angle is in [0, pi].
+        if q.w < 0:
+            q = Quaternion(-q.w, -q.x, -q.y, -q.z)
+        angle = 2.0 * float(np.arccos(np.clip(q.w, -1.0, 1.0)))
+        s = np.sqrt(max(1.0 - q.w * q.w, 0.0))
+        if s < 1e-12:
+            return np.array([1.0, 0.0, 0.0]), 0.0
+        return np.array([q.x, q.y, q.z]) / s, angle
+
+    def slerp(self, other: "Quaternion", t: float) -> "Quaternion":
+        """Spherical linear interpolation between two unit quaternions."""
+        q0 = self.normalized().to_array()
+        q1 = other.normalized().to_array()
+        dot = float(np.dot(q0, q1))
+        # Take the short arc.
+        if dot < 0:
+            q1, dot = -q1, -dot
+        if dot > 1.0 - 1e-10:
+            out = q0 + t * (q1 - q0)
+            out /= np.linalg.norm(out)
+            return Quaternion.from_array(out)
+        theta = np.arccos(np.clip(dot, -1.0, 1.0))
+        s = np.sin(theta)
+        a = np.sin((1 - t) * theta) / s
+        b = np.sin(t * theta) / s
+        return Quaternion.from_array(a * q0 + b * q1)
+
+    def angular_distance(self, other: "Quaternion") -> float:
+        """Rotation angle (radians) taking *self* onto *other*."""
+        rel = other.normalized() * self.normalized().inverse()
+        _, angle = rel.axis_angle()
+        return angle

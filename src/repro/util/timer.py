@@ -1,0 +1,58 @@
+"""Wall-clock timing used for the paper's computational-overhead metrics.
+
+The paper reports "total time required to build entire model" (Fig 11b);
+:class:`Stopwatch` accumulates named phases so experiments can report both
+per-phase and total overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed wall-clock time across named phases."""
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; repeated phases accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self.phases.values())
+
+    def report(self) -> str:
+        """Human-readable per-phase breakdown."""
+        lines = [f"{name}: {secs:.4f}s" for name, secs in sorted(self.phases.items())]
+        lines.append(f"total: {self.total:.4f}s")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[list]:
+    """Context manager yielding a single-element list filled with elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(1000))
+    >>> elapsed[0] >= 0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

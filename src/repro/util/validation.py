@@ -1,0 +1,63 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``ValueError`` with descriptive messages so configuration
+mistakes surface at construction time rather than as NaNs mid-inference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_prob_vector(name: str, vec: np.ndarray, atol: float = 1e-6) -> np.ndarray:
+    """Require *vec* to be a valid probability vector (non-negative, sums to 1)."""
+    arr = np.asarray(vec, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} has negative entries: {arr}")
+    total = float(arr.sum())
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return arr
+
+
+def check_shape(name: str, arr: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Require *arr* to have exactly *shape* (use -1 for "any size")."""
+    arr = np.asarray(arr)
+    if len(arr.shape) != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dims, got shape {arr.shape}")
+    for actual, expected in zip(arr.shape, shape):
+        if expected != -1 and actual != expected:
+            raise ValueError(f"{name} must have shape {tuple(shape)}, got {arr.shape}")
+    return arr

@@ -1,0 +1,96 @@
+"""CLI behaviour: generate / mine / recognize / experiment plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.json"
+    code = main(
+        [
+            "generate",
+            "cace",
+            str(path),
+            "--homes",
+            "2",
+            "--sessions",
+            "2",
+            "--duration",
+            "1200",
+            "--seed",
+            "11",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, corpus_path):
+        data = json.loads(corpus_path.read_text())
+        assert data["schema"] == "repro.dataset/1"
+        assert len(data["sequences"]) == 4
+
+    def test_casas_corpus(self, tmp_path):
+        path = tmp_path / "casas.json"
+        code = main(
+            ["generate", "casas", str(path), "--homes", "1", "--sessions", "1", "--seed", "3"]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["has_gestural"] is False
+
+    def test_three_resident_corpus(self, tmp_path):
+        path = tmp_path / "trio.json"
+        code = main(
+            [
+                "generate", "cace", str(path),
+                "--homes", "1", "--sessions", "1", "--duration", "900",
+                "--residents", "3", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data["sequences"][0]["resident_ids"]) == 3
+
+
+class TestMine:
+    def test_prints_rules(self, corpus_path, capsys):
+        code = main(["mine", str(corpus_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rules total" in out
+
+    def test_writes_rules_json(self, corpus_path, tmp_path):
+        out_path = tmp_path / "rules.json"
+        code = main(["mine", str(corpus_path), "--output", str(out_path)])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro.rules/1"
+
+
+class TestRecognize:
+    def test_reports_metrics(self, corpus_path, capsys):
+        code = main(
+            ["recognize", str(corpus_path), "--strategy", "c2", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Overall" in out
+        assert "decode" in out
+
+
+class TestExperimentDispatch:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_micro_experiment_runs(self, capsys):
+        code = main(["experiment", "micro", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "postural" in out and "gestural" in out

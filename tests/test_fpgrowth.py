@@ -1,0 +1,166 @@
+"""FP-Growth: equivalence with Apriori and structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.apriori import Apriori
+from repro.mining.context_rules import Item, encode_dataset
+from repro.mining.fpgrowth import FpGrowth
+from repro.mining.rule_metrics import (
+    evaluate_rule,
+    evaluate_rules,
+    rule_table,
+    transitive_reduction_stats,
+)
+from repro.mining.rules import AssociationRule, merge_redundant
+
+#: A tiny item universe keeps random transactions dense enough to produce
+#: frequent itemsets.
+_UNIVERSE = [
+    Item("u1", "t", "macro", v) for v in ("a", "b", "c")
+] + [
+    Item("u1", "t", "subloc", v) for v in ("x", "y")
+] + [Item("amb", "t", "room", "r")]
+
+
+@st.composite
+def transaction_lists(draw):
+    n = draw(st.integers(min_value=8, max_value=40))
+    out = []
+    for _ in range(n):
+        members = draw(
+            st.lists(st.sampled_from(_UNIVERSE), min_size=1, max_size=5, unique=True)
+        )
+        out.append(frozenset(members))
+    return out
+
+
+class TestEquivalenceWithApriori:
+    @given(transaction_lists(), st.sampled_from([0.05, 0.1, 0.25]))
+    @settings(max_examples=60, deadline=None)
+    def test_same_itemsets_and_supports(self, transactions, min_support):
+        apriori = Apriori(min_support=min_support, max_itemset_size=3)
+        fp = FpGrowth(min_support=min_support, max_itemset_size=3)
+        a = apriori.mine_itemsets(transactions)
+        f = fp.mine_itemsets(transactions)
+        assert set(a.supports) == set(f.supports)
+        for itemset, support in a.supports.items():
+            assert f.supports[itemset] == pytest.approx(support)
+
+    def test_equivalent_on_real_cace_transactions(self):
+        from repro.datasets.cace import generate_cace_dataset
+
+        ds = generate_cace_dataset(
+            n_homes=1, sessions_per_home=2, duration_s=1200.0, seed=31
+        )
+        transactions = encode_dataset(ds.sequences)
+        a = Apriori(min_support=0.04, max_itemset_size=3).mine_itemsets(transactions)
+        f = FpGrowth(min_support=0.04, max_itemset_size=3).mine_itemsets(transactions)
+        assert set(a.supports) == set(f.supports)
+        for itemset, support in a.supports.items():
+            assert f.supports[itemset] == pytest.approx(support)
+
+
+class TestFpGrowthProperties:
+    @given(transaction_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_support_antimonotone(self, transactions):
+        result = FpGrowth(min_support=0.05).mine_itemsets(transactions)
+        for itemset, support in result.supports.items():
+            for item in itemset:
+                smaller = itemset - {item}
+                if smaller:
+                    assert result.supports[smaller] >= support - 1e-12
+
+    @given(transaction_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_supports_match_direct_count(self, transactions):
+        result = FpGrowth(min_support=0.05).mine_itemsets(transactions)
+        n = len(transactions)
+        for itemset, support in result.supports.items():
+            direct = sum(1 for t in transactions if itemset <= t) / n
+            assert support == pytest.approx(direct)
+
+    def test_respects_max_itemset_size(self):
+        transactions = [frozenset(_UNIVERSE)] * 10
+        result = FpGrowth(min_support=0.5, max_itemset_size=2).mine_itemsets(transactions)
+        assert max(len(s) for s in result.supports) == 2
+
+    def test_empty_transactions(self):
+        result = FpGrowth().mine_itemsets([])
+        assert result.supports == {}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FpGrowth(min_support=1.5)
+        with pytest.raises(ValueError):
+            FpGrowth(max_itemset_size=0)
+
+
+class TestRuleMetrics:
+    @pytest.fixture
+    def corpus(self):
+        a = Item("u1", "t", "subloc", "SR1")
+        b = Item("u1", "t", "posture", "cycling")
+        c = Item("u1", "t", "macro", "exercising")
+        other = Item("u1", "t", "macro", "dining")
+        transactions = []
+        transactions += [frozenset([a, b, c])] * 40  # rule holds
+        transactions += [frozenset([a, other])] * 5  # antecedent, no consequent
+        transactions += [frozenset([other])] * 55
+        return a, b, c, transactions
+
+    def test_confidence_and_support(self, corpus):
+        a, b, c, transactions = corpus
+        rule = AssociationRule(
+            antecedent=frozenset([a]), consequent=c, support=0.0, confidence=0.0
+        )
+        quality = evaluate_rule(rule, transactions)
+        assert quality.support == pytest.approx(0.4)
+        assert quality.confidence == pytest.approx(40 / 45)
+        assert quality.lift == pytest.approx((40 / 45) / 0.4)
+        assert quality.leverage == pytest.approx(0.4 - 0.45 * 0.4)
+        assert quality.conviction == pytest.approx((1 - 0.4) / (1 - 40 / 45))
+
+    def test_exceptionless_rule_has_infinite_conviction(self, corpus):
+        a, b, c, transactions = corpus
+        rule = AssociationRule(
+            antecedent=frozenset([a, b]), consequent=c, support=0.0, confidence=0.0
+        )
+        quality = evaluate_rule(rule, transactions)
+        assert quality.confidence == pytest.approx(1.0)
+        assert quality.conviction == float("inf")
+        assert "inf" in quality.row()
+
+    def test_evaluate_rules_sorted_by_lift(self, corpus):
+        a, b, c, transactions = corpus
+        strong = AssociationRule(frozenset([a, b]), c, 0.0, 0.0)
+        weak = AssociationRule(frozenset([a]), c, 0.0, 0.0)
+        ranked = evaluate_rules([weak, strong], transactions)
+        assert ranked[0].rule == strong
+
+    def test_rule_table_renders(self, corpus):
+        a, b, c, transactions = corpus
+        rule = AssociationRule(frozenset([a]), c, 0.0, 0.0)
+        table = rule_table([rule], transactions)
+        assert "lift" in table and "sup=" in table
+
+    def test_zero_transactions_rejected(self, corpus):
+        a, _, c, _ = corpus
+        rule = AssociationRule(frozenset([a]), c, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            evaluate_rule(rule, [])
+
+    def test_reduction_stats(self):
+        a = Item("u1", "t", "subloc", "SR1")
+        b = Item("u1", "t", "posture", "cycling")
+        c = Item("u1", "t", "macro", "exercising")
+        general = AssociationRule(frozenset([a]), c, 0.1, 1.0)
+        specific = AssociationRule(frozenset([a, b]), c, 0.05, 1.0)
+        merged = merge_redundant([general, specific])
+        stats = transitive_reduction_stats([general, specific], merged)
+        assert stats["rules_before"] == 2
+        assert stats["rules_after"] == 1
+        assert stats["compression"] == pytest.approx(0.5)

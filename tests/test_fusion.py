@@ -1,0 +1,115 @@
+"""Madgwick fusion filter: convergence, drift rejection, agreement."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.fusion import MadgwickFilter
+from repro.sensors.imu import ImuSample, ImuSimulator, POSTURAL_SIGNATURES
+from repro.sensors.quaternion import Quaternion
+from repro.sensors.trajectory import OrientationFilter
+
+_GRAVITY = 9.81
+_NORTH = np.array([22.0, 0.0, -42.0])  # typical inclination field, uT
+
+
+def _static_sample(t: float, q: Quaternion, gyro=np.zeros(3)) -> ImuSample:
+    """A stationary sample for a body at orientation *q* (body->world)."""
+    inv = q.inverse()
+    accel = inv.rotate(np.array([0.0, 0.0, _GRAVITY]))
+    mag = inv.rotate(_NORTH)
+    return ImuSample(t=t, accel=accel, gyro=np.asarray(gyro, float), mag=mag)
+
+
+class TestMadgwick:
+    def test_identity_is_fixed_point(self):
+        filt = MadgwickFilter(sample_rate_hz=50.0)
+        q = Quaternion.identity()
+        for i in range(100):
+            out = filt.update(_static_sample(i / 50.0, q))
+        assert out.angular_distance(q) < 0.05
+
+    def test_converges_to_static_orientation(self):
+        true_q = Quaternion.from_euler(0.25, -0.4, 0.0)
+        filt = MadgwickFilter(beta=0.3, sample_rate_hz=50.0)
+        for i in range(800):
+            out = filt.update(_static_sample(i / 50.0, true_q))
+        assert out.angular_distance(true_q) < 0.12
+
+    def test_tracks_constant_rotation(self):
+        # Rotating at a constant rate about z; gyro carries the full signal.
+        rate = 0.8  # rad/s
+        filt = MadgwickFilter(beta=0.05, sample_rate_hz=100.0)
+        q = Quaternion.identity()
+        for i in range(400):
+            q = (q * Quaternion.from_axis_angle([0, 0, 1], rate / 100.0)).normalized()
+            out = filt.update(_static_sample(i / 100.0, q, gyro=[0.0, 0.0, rate]))
+        assert out.angular_distance(q) < 0.2
+
+    def test_gyro_bias_rejected(self):
+        # A constant gyro bias must not wind the estimate up: the gradient
+        # correction anchors gravity/north.
+        true_q = Quaternion.identity()
+        filt = MadgwickFilter(beta=0.3, sample_rate_hz=50.0)
+        for i in range(1000):
+            out = filt.update(
+                _static_sample(i / 50.0, true_q, gyro=[0.03, -0.02, 0.01])
+            )
+        assert out.angular_distance(true_q) < 0.15
+
+    def test_output_stays_normalised(self):
+        rng = np.random.default_rng(3)
+        filt = MadgwickFilter(sample_rate_hz=50.0)
+        for i in range(200):
+            sample = ImuSample(
+                t=i / 50.0,
+                accel=rng.normal(0, 3, 3) + [0, 0, _GRAVITY],
+                gyro=rng.normal(0, 0.5, 3),
+                mag=rng.normal(0, 5, 3) + _NORTH,
+            )
+            out = filt.update(sample)
+            assert out.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_six_axis_fallback_without_mag(self):
+        true_q = Quaternion.from_euler(0.3, 0.0, 0.0)
+        filt = MadgwickFilter(beta=0.3, sample_rate_hz=50.0)
+        for i in range(800):
+            s = _static_sample(i / 50.0, true_q)
+            s = ImuSample(t=s.t, accel=s.accel, gyro=s.gyro, mag=np.zeros(3))
+            out = filt.update(s)
+        # Without a magnetometer, roll/pitch still converge (yaw is
+        # unobservable): compare gravity directions instead of quaternions.
+        g_est = out.inverse().rotate([0.0, 0.0, 1.0])
+        g_true = true_q.inverse().rotate([0.0, 0.0, 1.0])
+        assert np.dot(g_est, g_true) > 0.99
+
+    def test_reset(self):
+        filt = MadgwickFilter()
+        filt.update(_static_sample(0.0, Quaternion.from_euler(0.5, 0.2, 0.1)))
+        filt.reset()
+        assert filt.orientation.angular_distance(Quaternion.identity()) < 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MadgwickFilter(beta=0.0)
+        with pytest.raises(ValueError):
+            MadgwickFilter(sample_rate_hz=-1.0)
+
+    def test_agreement_with_complementary_filter(self):
+        # Both estimators fuse the same rendered stream; their gravity
+        # estimates should agree closely on clean postural data.
+        sim = ImuSimulator(seed=11)
+        samples = sim.render(POSTURAL_SIGNATURES["sitting"], duration_s=4.0)
+        madgwick = MadgwickFilter(beta=0.2, sample_rate_hz=50.0)
+        complementary = OrientationFilter(sample_rate_hz=50.0, correction_gain=0.1)
+        for sample in samples:
+            qm = madgwick.update(sample)
+            qc = complementary.update(sample)
+        gm = qm.inverse().rotate([0.0, 0.0, 1.0])
+        gc = qc.inverse().rotate([0.0, 0.0, 1.0])
+        assert np.dot(gm, gc) > 0.95
+
+    def test_run_returns_one_orientation_per_sample(self):
+        sim = ImuSimulator(seed=5)
+        samples = sim.render(POSTURAL_SIGNATURES["standing"], duration_s=1.0)
+        out = MadgwickFilter().run(samples)
+        assert len(out) == len(samples)

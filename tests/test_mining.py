@@ -1,0 +1,306 @@
+"""Unit + property tests for Apriori, rules, and the context miners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import (
+    Apriori,
+    AssociationRule,
+    ConstraintMiner,
+    CorrelationMiner,
+    ExclusionRule,
+    Item,
+    encode_sequence,
+    initial_rule_set,
+    merge_redundant,
+    table_iv_rules,
+)
+from repro.mining.context_rules import encode_dataset, format_item
+
+
+def _item(slot, attr, value, time="t"):
+    return Item(slot, time, attr, value)
+
+
+def _transactions():
+    """Hand-built transactions with a planted rule and exclusion.
+
+    Planted: {A, B} => C with confidence 1.0; X and Y never co-occur.
+    """
+    a, b, c = _item("u1", "posture", "A"), _item("u1", "subloc", "B"), _item("u1", "macro", "C")
+    d = _item("u1", "macro", "D")
+    x, y = _item("u1", "subloc", "X"), _item("u2", "subloc", "X")
+    base = []
+    for i in range(40):
+        t = {a, b, c}
+        if i % 2 == 0:
+            t.add(x)
+        else:
+            t.add(y)
+        base.append(frozenset(t))
+    for i in range(40):
+        t = {a, d} if i % 2 else {b, d}
+        if i % 2 == 0:
+            t.add(x)
+        else:
+            t.add(y)
+        base.append(frozenset(t))
+    return base
+
+
+class TestApriori:
+    def test_single_item_supports_exact(self):
+        transactions = _transactions()
+        apriori = Apriori(min_support=0.1, max_itemset_size=2)
+        itemsets = apriori.mine_itemsets(transactions)
+        a = frozenset([_item("u1", "posture", "A")])
+        # A appears in 40 + 20 of 80 transactions.
+        assert itemsets.support(a) == pytest.approx(60 / 80)
+
+    def test_pair_support(self):
+        itemsets = Apriori(min_support=0.1).mine_itemsets(_transactions())
+        ab = frozenset([_item("u1", "posture", "A"), _item("u1", "subloc", "B")])
+        assert itemsets.support(ab) == pytest.approx(40 / 80)
+
+    def test_min_support_filters(self):
+        itemsets = Apriori(min_support=0.9).mine_itemsets(_transactions())
+        assert len(itemsets.supports) == 0
+
+    def test_planted_rule_found_with_full_confidence(self):
+        rules = Apriori(min_support=0.1, min_confidence=0.99).mine_rules(
+            _transactions(), consequent_attrs=("macro",)
+        )
+        planted = [
+            r
+            for r in rules
+            if r.consequent.value == "C"
+            and {i.value for i in r.antecedent} == {"A", "B"}
+        ]
+        assert planted and planted[0].confidence == pytest.approx(1.0)
+
+    def test_no_rule_below_confidence(self):
+        rules = Apriori(min_support=0.1, min_confidence=0.99).mine_rules(
+            _transactions(), consequent_attrs=("macro",)
+        )
+        # A => D has confidence 20/60 < 0.99; it must not be emitted.
+        assert not any(
+            r.consequent.value == "D" and {i.value for i in r.antecedent} == {"A"}
+            for r in rules
+        )
+
+    def test_empty_transactions_rejected(self):
+        with pytest.raises(ValueError):
+            Apriori().mine_itemsets([])
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_support_antimonotone(self, n_items):
+        # Random small transaction DB: support(superset) <= support(subset).
+        rng = np.random.default_rng(n_items)
+        universe = [_item("u1", "attr", str(i)) for i in range(n_items)]
+        transactions = [
+            frozenset(it for it in universe if rng.random() < 0.5) for _ in range(60)
+        ]
+        itemsets = Apriori(min_support=0.01, max_itemset_size=3).mine_itemsets(transactions)
+        for itemset, support in itemsets.supports.items():
+            for item in itemset:
+                subset = frozenset(itemset - {item})
+                if subset:
+                    assert itemsets.support(subset) >= support - 1e-12
+
+
+class TestRules:
+    def test_satisfied_by_open_world(self):
+        rule = AssociationRule(
+            antecedent=frozenset([_item("u1", "posture", "cycling")]),
+            consequent=_item("u1", "macro", "exercising"),
+            support=0.1,
+            confidence=1.0,
+        )
+        # Antecedent absent: trivially satisfied.
+        assert rule.satisfied_by(frozenset([_item("u1", "posture", "sitting")]))
+        # Fires, consequent matches.
+        assert rule.satisfied_by(
+            frozenset([_item("u1", "posture", "cycling"), _item("u1", "macro", "exercising")])
+        )
+        # Fires, conflicting macro value present: violated.
+        assert not rule.satisfied_by(
+            frozenset([_item("u1", "posture", "cycling"), _item("u1", "macro", "dining")])
+        )
+        # Fires, macro attribute absent entirely: not a violation.
+        assert rule.satisfied_by(frozenset([_item("u1", "posture", "cycling")]))
+
+    def test_exclusion_violated_by(self):
+        excl = ExclusionRule(
+            a=_item("u1", "subloc", "SR9"), b=_item("u2", "subloc", "SR9"),
+            support_a=0.1, support_b=0.1,
+        )
+        both = frozenset([excl.a, excl.b])
+        assert excl.violated_by(both)
+        assert not excl.violated_by(frozenset([excl.a]))
+
+    def test_merge_redundant_drops_dominated(self):
+        general = AssociationRule(
+            antecedent=frozenset([_item("u1", "subloc", "SR1")]),
+            consequent=_item("u1", "macro", "exercising"),
+            support=0.1, confidence=1.0,
+        )
+        specific = AssociationRule(
+            antecedent=frozenset(
+                [_item("u1", "subloc", "SR1"), _item("u1", "posture", "cycling")]
+            ),
+            consequent=_item("u1", "macro", "exercising"),
+            support=0.08, confidence=1.0,
+        )
+        kept = merge_redundant([general, specific])
+        assert kept == [general]
+
+    def test_merge_keeps_more_confident_specific(self):
+        general = AssociationRule(
+            antecedent=frozenset([_item("u1", "subloc", "SR1")]),
+            consequent=_item("u1", "macro", "exercising"),
+            support=0.1, confidence=0.99,
+        )
+        specific = AssociationRule(
+            antecedent=frozenset(
+                [_item("u1", "subloc", "SR1"), _item("u1", "posture", "cycling")]
+            ),
+            consequent=_item("u1", "macro", "exercising"),
+            support=0.08, confidence=1.0,
+        )
+        kept = merge_redundant([general, specific])
+        assert len(kept) == 2
+
+    def test_format_item(self):
+        assert format_item(_item("u1", "subloc", "SR4")) == "U1(t):subloc=SR4"
+
+
+class TestEncoding:
+    def test_transaction_counts(self, cace_dataset):
+        seq = cace_dataset.sequences[0]
+        plain = encode_sequence(seq, symmetrize=False)
+        symmetric = encode_sequence(seq, symmetrize=True)
+        assert len(plain) == len(seq)
+        assert len(symmetric) == 2 * len(seq)
+
+    def test_two_time_slices_present(self, cace_dataset):
+        seq = cace_dataset.sequences[0]
+        transactions = encode_sequence(seq, symmetrize=False)
+        later = transactions[5]
+        times = {item.time for item in later}
+        assert times == {"t", "t-1"}
+
+    def test_slots_are_canonical(self, cace_dataset):
+        transactions = encode_dataset(cace_dataset.sequences[:1])
+        slots = {item.slot for t in transactions for item in t}
+        assert slots <= {"u1", "u2", "amb"}
+
+
+class TestCorrelationMiner:
+    def test_mines_forcing_and_exclusions(self, rule_set):
+        assert len(rule_set.forcing_rules) > 0
+        # Rules must force hidden attributes at time t only.
+        for rule in rule_set.forcing_rules:
+            assert rule.consequent.attr in ("macro", "subloc")
+            assert rule.consequent.time == "t"
+            assert all(item.time == "t" for item in rule.antecedent)
+            assert rule.confidence >= 0.99
+
+    def test_is_consistent_accepts_truth(self, cace_split, rule_set):
+        from repro.mining.context_rules import encode_step
+
+        train, _ = cace_split
+        seq = train.sequences[0]
+        slot_of = {rid: f"u{i+1}" for i, rid in enumerate(seq.resident_ids)}
+        ok = 0
+        for step, truth in zip(seq.steps[:50], seq.truths[:50]):
+            items = encode_step(truth, None, step.rooms_fired, step.objects_fired, slot_of)
+            ok += rule_set.is_consistent(items)
+        assert ok >= 48  # ground truth is (almost) always rule-consistent
+
+    def test_single_and_cross_split(self, rule_set):
+        single = rule_set.single_user()
+        cross = rule_set.cross_user()
+        assert not single.exclusions
+        assert cross.exclusions == rule_set.exclusions
+        for rule in single.forcing_rules:
+            slots = {i.slot for i in rule.antecedent} | {rule.consequent.slot}
+            assert slots <= {"u1", "amb"}
+        for rule in cross.forcing_rules:
+            slots = {i.slot for i in rule.antecedent if i.slot != "amb"}
+            slots.add(rule.consequent.slot)
+            assert len(slots) > 1
+        # Every rule lands in exactly one bucket (mirrors deduplicated).
+        assert len(cross.forcing_rules) <= len(rule_set.forcing_rules)
+
+    def test_merge_with_initial_rules(self, rule_set):
+        merged = rule_set.merge(initial_rule_set())
+        assert merged.n_rules >= rule_set.n_rules
+
+
+class TestInitialRules:
+    def test_table_iv_rules_shape(self):
+        rules = table_iv_rules()
+        assert len(rules) == 10  # 5 per user slot
+        assert all(r.confidence == 1.0 for r in rules)
+
+    def test_initial_rule_set_consistency_checks(self):
+        rs = initial_rule_set()
+        bad = frozenset(
+            [_item("u1", "subloc", "SR9"), _item("u2", "subloc", "SR9")]
+        )
+        assert not rs.is_consistent(bad)
+        good = frozenset([_item("u1", "subloc", "SR9")])
+        assert rs.is_consistent(good)
+
+    def test_cycling_in_sr1_forces_exercising(self):
+        rs = initial_rule_set()
+        violating = frozenset(
+            [
+                _item("u1", "posture", "cycling"),
+                _item("u1", "subloc", "SR1"),
+                _item("u1", "macro", "dining"),
+            ]
+        )
+        assert not rs.is_consistent(violating)
+
+
+class TestConstraintMiner:
+    def test_tables_are_distributions(self, constraint_model):
+        cm = constraint_model
+        assert np.allclose(cm.macro_prior.sum(), 1.0)
+        assert np.allclose(cm.macro_trans.sum(axis=1), 1.0)
+        assert np.allclose(cm.macro_trans_coupled.sum(axis=2), 1.0)
+        assert np.allclose(cm.posture_trans.sum(axis=2), 1.0)
+        assert np.allclose(cm.subloc_prior.sum(axis=1), 1.0)
+
+    def test_end_probabilities_bounded(self, constraint_model):
+        cm = constraint_model
+        assert np.all(cm.macro_end_prob > 0) and np.all(cm.macro_end_prob < 1)
+        assert np.all(cm.micro_end_prob > 0) and np.all(cm.micro_end_prob < 1)
+
+    def test_blocking_semantics_in_counts(self, constraint_model):
+        # Macro self-transitions dominate (segments span many steps) for
+        # every macro the small fixture corpus actually visited; unvisited
+        # rows smooth to uniform (1/M) and are excluded.
+        cm = constraint_model
+        diag = np.diag(cm.macro_trans)
+        visited = diag > 1.5 / cm.n_macro
+        assert visited.any()
+        assert np.mean(diag[visited]) > 0.7
+
+    def test_micro_states_for(self, constraint_model):
+        states = constraint_model.micro_states_for("sleeping", min_prob=0.05)
+        assert states
+        postures = {p for p, _, _ in states}
+        assert "lying" in postures
+        sublocs = {s for _, _, s in states}
+        assert "SR5" in sublocs
+
+    def test_exercising_location_prior_peaks_at_sr1(self, constraint_model):
+        cm = constraint_model
+        m = cm.macro_index.index("exercising")
+        top = cm.subloc_index.label(int(np.argmax(cm.subloc_prior[m])))
+        assert top == "SR1"

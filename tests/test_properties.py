@@ -1,0 +1,149 @@
+"""Cross-cutting property-based tests on evaluation and model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.duration import duration_error
+from repro.eval.metrics import evaluate_predictions
+from repro.models.distributions import (
+    log_normalize,
+    normalize,
+    shrink_coupled_transitions,
+)
+from repro.models.viterbi import forward_backward, viterbi_decode
+
+_LABELS = ["a", "b", "c"]
+
+
+@st.composite
+def label_pairs(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    truth = draw(st.lists(st.sampled_from(_LABELS), min_size=n, max_size=n))
+    predicted = draw(st.lists(st.sampled_from(_LABELS), min_size=n, max_size=n))
+    return truth, predicted
+
+
+class TestMetricsProperties:
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_bounds_and_identity(self, pair):
+        truth, predicted = pair
+        report = evaluate_predictions(truth, predicted, _LABELS)
+        assert 0.0 <= report.accuracy <= 1.0
+        perfect = evaluate_predictions(truth, truth, _LABELS)
+        assert perfect.accuracy == 1.0
+        assert perfect.fp_rate == pytest.approx(0.0)
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_recall_weighted_equals_accuracy(self, pair):
+        # Pooled recall weighted by class support is exactly accuracy.
+        truth, predicted = pair
+        report = evaluate_predictions(truth, predicted, _LABELS)
+        assert report.recall == pytest.approx(report.accuracy)
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_per_class_metrics_bounded(self, pair):
+        truth, predicted = pair
+        report = evaluate_predictions(truth, predicted, _LABELS)
+        for metrics in report.per_class.values():
+            assert 0.0 <= metrics.precision <= 1.0
+            assert 0.0 <= metrics.recall <= 1.0
+            assert 0.0 <= metrics.fp_rate <= 1.0
+
+
+class TestDurationProperties:
+    @given(st.lists(st.sampled_from(_LABELS), min_size=2, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_prediction_zero_error(self, labels):
+        assert duration_error(labels, labels, step_s=15.0) == pytest.approx(0.0)
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_error_non_negative(self, pair):
+        truth, predicted = pair
+        assert duration_error(truth, predicted, step_s=15.0) >= 0.0
+
+
+class TestDistributionProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=12
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_sums_to_one(self, weights):
+        out = normalize(np.array(weights))
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+
+    @given(
+        st.lists(
+            st.floats(min_value=-30.0, max_value=30.0), min_size=2, max_size=12
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_log_normalize_consistency(self, log_weights):
+        out = log_normalize(np.array(log_weights))
+        assert np.exp(out).sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_shrinkage_interpolates_toward_marginal(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 3, size=(4, 4, 4)).astype(float)
+        heavy = counts.copy()
+        heavy[0, 0, :] = [100.0, 0.0, 0.0, 0.0]
+        shrunk = shrink_coupled_transitions(heavy, kappa=20.0)
+        # Well-observed context rows stay close to their empirical row...
+        assert shrunk[0, 0, 0] > 0.8
+        # ...and every row is a distribution.
+        assert np.allclose(shrunk.sum(axis=2), 1.0)
+
+
+class TestViterbiProperties:
+    @st.composite
+    @staticmethod
+    def hmm_instances(draw):
+        n = draw(st.integers(min_value=2, max_value=4))
+        t = draw(st.integers(min_value=2, max_value=6))
+        rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+        prior = rng.dirichlet(np.ones(n))
+        trans = rng.dirichlet(np.ones(n), size=n)
+        log_e = rng.normal(0, 1, size=(t, n))
+        return np.log(prior), np.log(trans), log_e
+
+    @given(hmm_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_viterbi_matches_brute_force(self, instance):
+        log_prior, log_trans, log_e = instance
+        path, score = viterbi_decode(log_prior, log_trans, log_e)
+        t, n = log_e.shape
+
+        def path_score(states):
+            s = log_prior[states[0]] + log_e[0, states[0]]
+            for i in range(1, t):
+                s += log_trans[states[i - 1], states[i]] + log_e[i, states[i]]
+            return s
+
+        from itertools import product
+
+        best = max(product(range(n), repeat=t), key=path_score)
+        assert path_score(list(path)) == pytest.approx(path_score(best))
+
+    @given(hmm_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_forward_backward_marginals_normalised(self, instance):
+        log_prior, log_trans, log_e = instance
+        gamma, _, _ = forward_backward(log_prior, log_trans, log_e)
+        assert np.allclose(gamma.sum(axis=1), 1.0, atol=1e-8)
+
+    @given(hmm_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_viterbi_path_has_positive_marginals(self, instance):
+        log_prior, log_trans, log_e = instance
+        path, _ = viterbi_decode(log_prior, log_trans, log_e)
+        gamma, _, _ = forward_backward(log_prior, log_trans, log_e)
+        for t, state in enumerate(path):
+            assert gamma[t, state] > 0.0
