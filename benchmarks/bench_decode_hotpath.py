@@ -1,0 +1,34 @@
+"""Bench: decode hot-path throughput — seed implementation vs overhaul.
+
+The decode overhaul precomputes state encodings at candidate-build time,
+evaluates correlation rules as per-(rule, candidate-list) boolean
+matrices with per-step scalar gates, scores object evidence from an
+all-off baseline, and batches sessions across workers.  This bench
+measures steps/sec before (``ReferenceCoupledHdbn``, the seed's hot
+path) vs after on the same fitted c2 model, asserting the contract:
+>= 3x serial speedup with bit-for-bit identical decoded labels.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import decode_hotpath_benchmark
+
+
+def test_decode_hotpath(benchmark):
+    result = benchmark.pedantic(
+        decode_hotpath_benchmark,
+        kwargs={
+            "n_homes": 2,
+            "sessions_per_home": 4,
+            "duration_s": 2400.0,
+            "seed": 7,
+            "workers": 2,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    record("decode_hotpath", result.render())
+    # The overhaul must not change any decoded label at the same seed...
+    assert result.labels_identical
+    # ...and must buy at least 3x serial steps/sec on the c2 hot path.
+    assert result.speedup >= 3.0

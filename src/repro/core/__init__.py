@@ -17,7 +17,7 @@ The paper's contribution, assembled from the substrates:
   (Table V's metric).
 """
 
-from repro.core.chdbn import CoupledHdbn
+from repro.core.chdbn import CoupledHdbn, DecodeStats
 from repro.core.duration import duration_error, extract_segments, match_segments
 from repro.core.engine import CaceEngine
 from repro.core.hdbn import SingleUserHdbn
@@ -26,6 +26,7 @@ from repro.core.state_space import StateSpaceBuilder, UserState
 
 __all__ = [
     "CoupledHdbn",
+    "DecodeStats",
     "duration_error",
     "extract_segments",
     "match_segments",

@@ -24,22 +24,40 @@ Implements the loosely-coupled HDBN of §IV/§VI over the hidden joint state
 Decoding is exact joint Viterbi over the per-step candidate trellis with
 numpy-vectorised transition blocks; posterior marginals use the same
 machinery with sum-product.
+
+The per-step hot path is fully vectorised: candidate lists arrive from the
+builder with their dense ``(macro, subloc)`` encodings precomputed (no
+per-pair label lookups), correlation rules are evaluated as boolean
+vectors over candidate lists (:mod:`repro.core.rule_kernel`) with the
+per-step evidence shared between the cross-prune mask, the soft-exclusion
+penalty and per-user pruning, and object evidence comes from a
+precomputed all-off baseline plus a fired-object correction
+(:class:`~repro.core.emissions.ObjectEvidenceTable`).  The seed's
+straight-line implementation is preserved in :mod:`repro.core.reference`
+as the executable specification; equivalence is asserted by
+``tests/test_decode_stats.py`` and ``benchmarks/bench_decode_hotpath.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.emissions import object_log_evidence, user_state_emissions
-from repro.core.state_space import StateSpaceBuilder, UserState, _ROOM_OF
+from repro.core.emissions import ObjectEvidenceTable, user_state_emissions
+from repro.core.rule_kernel import (
+    CompiledRules,
+    CrossRulePruner,
+    SingleRulePruner,
+    StepItems,
+    soft_exclusion_matrix,
+)
+from repro.core.state_space import CandidateSet, StateSpaceBuilder
 from repro.datasets.trace import Dataset, LabeledSequence
 from repro.micro.annealing import DeterministicAnnealing
 from repro.mining.constraint_miner import ConstraintModel
 from repro.mining.correlation_miner import CorrelationRuleSet
-from repro.models.chmm import soft_location_log_evidence
 from repro.util.rng import RandomState, ensure_rng
 
 _TINY = 1e-12
@@ -48,19 +66,83 @@ _TINY = 1e-12
 _PIR_MISS_PENALTY = -1.5
 
 
+def _lse(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Numerically stable log-sum-exp along *axis* (shared by the HDBN
+    family's sum-product recursions and the online smoother)."""
+    m = arr.max(axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
+
+
+def chain_block(
+    macro_table: np.ndarray,
+    loc_table: np.ndarray,
+    log_subloc_prior: np.ndarray,
+    m_prev: np.ndarray,
+    l_prev: np.ndarray,
+    partner_prev: np.ndarray,
+    m_cur: np.ndarray,
+    l_cur: np.ndarray,
+) -> np.ndarray:
+    """One coupled chain's (P, C) contribution to the joint transition.
+
+    Two gathers from the precomputed log tables plus one branch on the
+    macro-change mask — no per-step transcendentals on (P, C) blocks.
+    Shared by the pair and N-chain models.
+    """
+    macro_term = macro_table[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
+    same = m_prev[:, None] == m_cur[None, :]
+    cont = loc_table[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
+    reset = log_subloc_prior[m_cur, l_cur][None, :]
+    return macro_term + np.where(same, cont, reset)
+
+
 @dataclass
 class DecodeStats:
-    """Work accounting for one decoded sequence (overhead metrics)."""
+    """Work accounting for one decoded sequence (overhead metrics).
+
+    Field semantics (the paper's Fig 11 overhead metric is derived from
+    these, so they count *actual* work, never hypothetical work):
+
+    ``steps``
+        Time steps whose candidate trellis was built — incremented once
+        per step in both the offline (:meth:`CoupledHdbn._prepare`) and
+        streaming (:meth:`~repro.core.smoother.OnlineSmoother.push`) paths.
+    ``joint_states``
+        Total surviving joint candidates summed over steps (after rule
+        pruning *and* the score cap) — what the trellis actually holds.
+    ``transition_entries``
+        Total entries of the evaluated transition blocks — one
+        ``(prev x cur)`` block per step in the forward pass.
+    ``pruned_joint_states``
+        Joint candidates actually *removed* by correlation pruning.  When
+        every pair fails the rules the pruner keeps them all (never empty
+        the trellis), and that step contributes zero here.
+    ``capped_joint_states``
+        Joint candidates dropped by the best-K emission-score cap
+        (``max_joint_states`` / ``max_joint_states_pruned``), accounted
+        separately from rule pruning.
+    """
 
     steps: int = 0
     joint_states: int = 0
     transition_entries: int = 0
     pruned_joint_states: int = 0
+    capped_joint_states: int = 0
 
     @property
     def mean_joint_states(self) -> float:
         """Average joint-candidate count per step."""
         return self.joint_states / max(self.steps, 1)
+
+    def merge(self, other: "DecodeStats") -> "DecodeStats":
+        """Accumulate *other* into this instance (batched decoding)."""
+        self.steps += other.steps
+        self.joint_states += other.joint_states
+        self.transition_entries += other.transition_entries
+        self.pruned_joint_states += other.pruned_joint_states
+        self.capped_joint_states += other.capped_joint_states
+        return self
 
 
 @dataclass
@@ -82,6 +164,47 @@ class _MacroGmm:
         )
         m = comps.max()
         return float(m + np.log(np.exp(comps - m).sum()))
+
+
+class GmmBank:
+    """Every macro's mixture components stacked for one-shot evaluation.
+
+    One einsum over all components replaces one einsum per macro per step;
+    per-macro log-sum-exp then runs on slices of the shared component
+    vector (same values, same reduction order as :meth:`_MacroGmm.log_pdf`).
+    """
+
+    def __init__(self, gmms: Dict[int, "_MacroGmm"]) -> None:
+        self._order = sorted(gmms)
+        self._slices: Dict[int, Tuple[int, int]] = {}
+        if not self._order:
+            return
+        start = 0
+        for m in self._order:
+            k = gmms[m].weights.shape[0]
+            self._slices[m] = (start, start + k)
+            start += k
+        self.log_weights = np.log(
+            np.concatenate([gmms[m].weights for m in self._order]) + _TINY
+        )
+        self.means = np.concatenate([gmms[m].means for m in self._order])
+        self.inv_covs = np.concatenate([gmms[m].inv_covs for m in self._order])
+        self.logdets = np.concatenate([gmms[m].logdets for m in self._order])
+
+    def log_pdfs(self, x: np.ndarray) -> Dict[int, float]:
+        """``{macro_idx: log p(x | macro)}`` for every fitted macro."""
+        if not self._slices:
+            return {}
+        d = x.shape[0]
+        diffs = x[None, :] - self.means
+        quads = np.einsum("ki,kij,kj->k", diffs, self.inv_covs, diffs)
+        comps = self.log_weights - 0.5 * (d * np.log(2 * np.pi) + self.logdets + quads)
+        out: Dict[int, float] = {}
+        for m, (s, e) in self._slices.items():
+            c = comps[s:e]
+            mx = c.max()
+            out[m] = float(mx + np.log(np.exp(c - mx).sum()))
+        return out
 
 
 def fit_object_cpt(
@@ -156,6 +279,86 @@ def fit_macro_gmms(
     return gmms
 
 
+def build_transition_tables(
+    p_change: np.ndarray,
+    change_trans: np.ndarray,
+    micro_end: np.ndarray,
+    subloc_trans: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Precomputed transition log tables shared by all HDBN variants.
+
+    Returns ``(macro_table, loc_table)`` such that the per-step chain
+    blocks are pure gathers (log of a gathered entry equals the gathered
+    entry of the logged table, bit for bit): the stay/change branch is
+    baked into the macro table's ``m_prev == m_cur`` diagonal, and the
+    micro continue/jump branch into the loc table's ``l_prev == l_cur``
+    diagonal.  ``change_trans`` may be coupled ``(M, M, M)`` or uncoupled
+    ``(M, M)``.
+    """
+    log_stay = np.log1p(-p_change)
+    log_go = np.log(p_change)
+    idx = np.arange(p_change.shape[0])
+    if change_trans.ndim == 3:
+        macro_table = log_go[:, None, None] + np.log(change_trans + _TINY)
+        macro_table[idx, :, idx] = log_stay[:, None]
+    else:
+        macro_table = log_go[:, None] + np.log(change_trans + _TINY)
+        macro_table[idx, idx] = log_stay
+    e = micro_end[:, None, None]
+    loc_table = np.log(e * subloc_trans + _TINY)
+    jdx = np.arange(subloc_trans.shape[1])
+    loc_cont = np.log((1.0 - e) + e * subloc_trans + _TINY)
+    loc_table[:, jdx, jdx] = loc_cont[:, jdx, jdx]
+    return macro_table, loc_table
+
+
+def fit_emission_tables(model, train: Dataset) -> None:
+    """Shared ``fit`` body for the HDBN family: DA Gaussian mixtures,
+    object-evidence CPT, and their precomputed hot-path banks."""
+    model.gmms_ = fit_macro_gmms(
+        train, model.constraint_model, model.gmm_components, model._rng
+    )
+    model._object_index, model._log_obj = fit_object_cpt(train, model.constraint_model)
+    model._obj_evidence = ObjectEvidenceTable(model._object_index, model._log_obj)
+    model._gmm_bank = GmmBank(model.gmms_)
+
+
+def build_candidate_set(
+    model, seq: LabeledSequence, rid: str, t: int, prune_per_user: bool = True
+) -> CandidateSet:
+    """One resident's evidence-truncated candidates for one step.
+
+    Shared by the coupled pair model and the N-chain model: fetch the
+    memoised encoded list, apply single-user rule pruning (the rules are
+    canonicalised to slot u1 by ``CorrelationRuleSet.single_user()``, so
+    the same matrix is correct for every resident — slot-invariance is
+    regression-tested in ``tests/test_decode_stats.py``), score
+    emissions, and keep the best ``max_states_per_user``.
+    """
+    step = seq.steps[t]
+    obs = step.observations[rid]
+    key = obs.subloc_candidates
+    full_states, full_m, full_l = model.builder.candidate_states_encoded(obs)
+    states, m, l = full_states, full_m, full_l
+    idx = np.arange(len(full_states))
+    if model._single_pruner is not None and prune_per_user:
+        keep = model._single_pruner.keep(key, full_m, full_l, obs, StepItems(step))
+        if keep.any() and not keep.all():
+            idx = np.flatnonzero(keep)
+            states = [states[i] for i in idx]
+            m = m[idx]
+            l = l[idx]
+    emissions = user_state_emissions(model, seq, rid, t, states, m, l)
+    candidates = CandidateSet(
+        states=states, m=m, l=l, emissions=emissions, obs=obs,
+        src_key=key, src_idx=idx, src_m=full_m, src_l=full_l,
+    )
+    if len(candidates) > model.max_states_per_user:
+        top = np.argsort(emissions)[::-1][: model.max_states_per_user]
+        candidates = candidates.take(top)
+    return candidates
+
+
 @dataclass
 class CoupledHdbn:
     """The loosely-coupled HDBN recogniser for a resident pair.
@@ -223,6 +426,21 @@ class CoupledHdbn:
         self._single_rules = self.rule_set.single_user() if self.rule_set else None
         self._cross_rules = self.rule_set.cross_user() if self.rule_set else None
         cm = self.constraint_model
+        # Rules are compiled once per model into per-(rule, candidate-list)
+        # boolean matrices with per-step scalar gates (repro.core.rule_kernel).
+        self._single_pruner = (
+            SingleRulePruner(CompiledRules(self._single_rules), cm, self.builder.room_of_l)
+            if self._single_rules is not None
+            else None
+        )
+        self._compiled_cross = (
+            CompiledRules(self._cross_rules) if self._cross_rules is not None else None
+        )
+        self._cross_pruner = (
+            CrossRulePruner(self._compiled_cross, cm, self.builder.room_of_l)
+            if self._compiled_cross is not None
+            else None
+        )
         # macro_end_prob is counted per step, so it already reflects the
         # blocking constraint (macro segments end only at micro boundaries);
         # multiplying in micro_end_prob again would double-count.
@@ -248,193 +466,104 @@ class CoupledHdbn:
         self._log_subloc_occ = np.log(cm.subloc_occupancy + _TINY)
         self._subloc_trans = cm.subloc_trans
         self._micro_end = cm.micro_end_prob
+        self._macro_block_table, self._loc_block_table = build_transition_tables(
+            self._p_change, self._change_trans, self._micro_end, self._subloc_trans
+        )
 
     # -- training -----------------------------------------------------------------
 
     def fit(self, train: Dataset) -> "CoupledHdbn":
         """Fit emissions: DA Gaussian mixtures + object-evidence CPT."""
-        self.gmms_ = fit_macro_gmms(
-            train, self.constraint_model, self.gmm_components, self._rng
-        )
-        self._object_index, self._log_obj = fit_object_cpt(train, self.constraint_model)
+        fit_emission_tables(self, train)
         return self
 
     # -- per-step machinery ----------------------------------------------------------
 
-    def _user_candidates(
-        self, seq: LabeledSequence, rid: str, t: int
-    ) -> Tuple[List[UserState], np.ndarray]:
-        """Candidate states and their emissions, evidence-truncated."""
-        obs = seq.steps[t].observations[rid]
-        states = self.builder.candidate_states(obs)
-        if self._single_rules is not None and self.prune_per_user:
-            amb = self.builder.ambient_item_set(seq.steps[t])
-            kept = [
-                s
-                for s in states
-                if self._single_rules.is_consistent(
-                    self.builder.state_item_set("u1", s, obs) | amb
-                )
-            ]
-            if kept:
-                states = kept
-        emissions = self._user_emissions(seq, rid, t, states)
-        if len(states) > self.max_states_per_user:
-            top = np.argsort(emissions)[::-1][: self.max_states_per_user]
-            states = [states[i] for i in top]
-            emissions = emissions[top]
-        return states, emissions
-
-    def _user_emissions(
-        self, seq: LabeledSequence, rid: str, t: int, states: List[UserState]
-    ) -> np.ndarray:
-        return user_state_emissions(self, seq, rid, t, states)
+    def _user_candidates(self, seq: LabeledSequence, rid: str, t: int) -> CandidateSet:
+        """Candidate states with encodings and emissions, evidence-truncated."""
+        return build_candidate_set(self, seq, rid, t, self.prune_per_user)
 
     def _joint_candidates(
         self,
         seq: LabeledSequence,
         t: int,
-        s1: List[UserState],
-        s2: List[UserState],
-        e1: np.ndarray,
-        e2: np.ndarray,
+        c1: CandidateSet,
+        c2: CandidateSet,
         rids: Tuple[str, str],
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Index pairs (i1, i2) into s1 x s2 after cross-user pruning."""
-        n1, n2 = len(s1), len(s2)
+        """Index pairs (i1, i2) into c1 x c2 after cross-user pruning."""
+        step = seq.steps[t]
+        n1, n2 = len(c1), len(c2)
         pairs = np.indices((n1, n2)).reshape(2, -1).T  # (n1*n2, 2)
-        if self._cross_rules is not None and self.prune_cross:
-            keep = self._cross_prune_mask(seq, t, s1, s2, rids)
+        prune_active = self._cross_pruner is not None and self.prune_cross
+        if prune_active:
+            keep = self._cross_prune_mask(step, c1, c2)
             mask = keep[pairs[:, 0], pairs[:, 1]]
-            self.last_stats.pruned_joint_states += int((~mask).sum())
             if mask.any():
+                # Count only pairs actually removed: when every pair fails
+                # the rules the pruner keeps them all, and reporting the
+                # would-be removals would inflate the Fig 11 overhead
+                # metric.
+                self.last_stats.pruned_joint_states += int((~mask).sum())
                 pairs = pairs[mask]
-        scores = e1[pairs[:, 0]] + e2[pairs[:, 1]]
-        scores = scores + self._coverage_penalty(seq.steps[t], s1, s2, pairs)
-        if self._cross_rules is not None and self.prune_cross:
-            scores = scores + self._soft_exclusion_penalty(
-                seq.steps[t], s1, s2, pairs, rids
+        scores = c1.emissions[pairs[:, 0]] + c2.emissions[pairs[:, 1]]
+        scores = scores + self._coverage_penalty(step, c1, c2, pairs)
+        if prune_active:
+            penalty = soft_exclusion_matrix(
+                self._compiled_cross,
+                self.constraint_model,
+                self.builder.room_of_l,
+                c1,
+                c2,
+                self.soft_exclusion_penalty,
             )
+            if penalty is not None:
+                scores = scores + penalty[pairs[:, 0], pairs[:, 1]]
         cap = self.max_joint_states
         if self.rule_set is not None and self.prune_cross:
             cap = min(cap, self.max_joint_states_pruned)
         if pairs.shape[0] > cap:
+            self.last_stats.capped_joint_states += pairs.shape[0] - cap
             top = np.argsort(scores)[::-1][:cap]
             pairs = pairs[top]
             scores = scores[top]
         return pairs[:, 0], pairs[:, 1], scores
 
+    def _cross_prune_mask(
+        self, step, c1: CandidateSet, c2: CandidateSet
+    ) -> np.ndarray:
+        """(|c1|, |c2|) boolean mask of joint states consistent with the
+        cross-user rules (precomputed rule matrices + per-step gates; see
+        repro.core.rule_kernel)."""
+        return self._cross_pruner.keep(StepItems(step), c1, c2)
+
     def _coverage_penalty(
         self,
         step,
-        s1: List[UserState],
-        s2: List[UserState],
+        c1: CandidateSet,
+        c2: CandidateSet,
         pairs: np.ndarray,
     ) -> np.ndarray:
         """Per-pair log penalty for fired areas no hypothesis explains."""
-        loc1 = np.array([s.subloc for s in s1], dtype=object)
-        loc2 = np.array([s.subloc for s in s2], dtype=object)
+        cm = self.constraint_model
+        l1 = c1.l[pairs[:, 0]]
+        l2 = c2.l[pairs[:, 1]]
         out = np.zeros(pairs.shape[0])
         for fired in step.sublocs_fired:
-            covered = (loc1[pairs[:, 0]] == fired) | (loc2[pairs[:, 1]] == fired)
-            out += np.where(covered, 0.0, self.unexplained_subloc_penalty)
+            if fired in cm.subloc_index:
+                f = cm.subloc_index.index(fired)
+                covered = (l1 == f) | (l2 == f)
+                out += np.where(covered, 0.0, self.unexplained_subloc_penalty)
+            else:
+                out += self.unexplained_subloc_penalty
         if not step.sublocs_fired and step.rooms_fired:
-            room1 = np.array([_ROOM_OF.get(s.subloc) for s in s1], dtype=object)
-            room2 = np.array([_ROOM_OF.get(s.subloc) for s in s2], dtype=object)
+            room_of_l = self.builder.room_of_l
+            room1 = room_of_l[l1]
+            room2 = room_of_l[l2]
             for fired in step.rooms_fired:
-                covered = (room1[pairs[:, 0]] == fired) | (room2[pairs[:, 1]] == fired)
+                covered = (room1 == fired) | (room2 == fired)
                 out += np.where(covered, 0.0, self.unexplained_room_penalty)
         return out
-
-    def _soft_exclusion_penalty(
-        self,
-        step,
-        s1: List[UserState],
-        s2: List[UserState],
-        pairs: np.ndarray,
-        rids: Tuple[str, str],
-    ) -> np.ndarray:
-        """Per-pair penalty for joint states that break soft exclusions."""
-        soft = self._cross_rules.soft_exclusions
-        if not soft:
-            return np.zeros(pairs.shape[0])
-        obs1 = step.observations[rids[0]]
-        obs2 = step.observations[rids[1]]
-        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
-        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
-        penalty = np.zeros((len(s1), len(s2)))
-        for excl in soft:
-            a, b = excl.a, excl.b
-            if a.slot != "u1" or b.slot != "u2":
-                continue
-            has_a = np.array([a in it for it in items1])
-            has_b = np.array([b in it for it in items2])
-            penalty += np.outer(has_a, has_b) * self.soft_exclusion_penalty
-        return penalty[pairs[:, 0], pairs[:, 1]]
-
-    def _cross_prune_mask(
-        self,
-        seq: LabeledSequence,
-        t: int,
-        s1: List[UserState],
-        s2: List[UserState],
-        rids: Tuple[str, str],
-    ) -> np.ndarray:
-        """(|s1|, |s2|) boolean mask of joint states consistent with the
-        cross-user rules, evaluated with per-rule outer products instead of
-        per-pair item-set unions (the pruning must be cheaper than the
-        trellis work it saves)."""
-        step = seq.steps[t]
-        amb = self.builder.ambient_item_set(step)
-        obs1 = step.observations[rids[0]]
-        obs2 = step.observations[rids[1]]
-        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
-        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
-        keep = np.ones((len(s1), len(s2)), dtype=bool)
-
-        for excl in self._cross_rules.hard_exclusions:
-            a, b = excl.a, excl.b
-            has_a = np.array([a in it for it in items1]) if a.slot == "u1" else None
-            has_b = np.array([b in it for it in items2]) if b.slot == "u2" else None
-            if has_a is None or has_b is None:
-                continue
-            keep &= ~np.outer(has_a, has_b)
-
-        for rule in self._cross_rules.forcing_rules:
-            ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
-            ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
-            ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
-            if not ant_amb <= amb:
-                continue
-            sat1 = np.array([ant1 <= it for it in items1])
-            sat2 = np.array([ant2 <= it for it in items2])
-            cons = rule.consequent
-            key = (cons.time, cons.attr)
-            if cons.slot == "u1":
-                viol = np.array(
-                    [
-                        any(
-                            (i.time, i.attr) == key and i.value != cons.value
-                            for i in it
-                        )
-                        and cons not in it
-                        for it in items1
-                    ]
-                )
-                keep &= ~np.outer(sat1 & viol, sat2)
-            elif cons.slot == "u2":
-                viol = np.array(
-                    [
-                        any(
-                            (i.time, i.attr) == key and i.value != cons.value
-                            for i in it
-                        )
-                        and cons not in it
-                        for it in items2
-                    ]
-                )
-                keep &= ~np.outer(sat1, sat2 & viol)
-        return keep
 
     def _transition_block(
         self,
@@ -456,38 +585,17 @@ class CoupledHdbn:
         m_cur: np.ndarray,
         l_cur: np.ndarray,
     ) -> np.ndarray:
-        """One chain's (P, C) contribution to the joint transition."""
-        same = m_prev[:, None] == m_cur[None, :]
-        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
-        log_change = (
-            np.log(self._p_change[m_prev])[:, None]
-            + np.log(
-                self._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
-                + _TINY
-            )
+        return chain_block(
+            self._macro_block_table, self._loc_block_table, self._log_subloc_prior,
+            m_prev, l_prev, partner_prev, m_cur, l_cur,
         )
-        macro_term = np.where(same, log_stay, log_change)
-
-        micro_end = self._micro_end[m_cur][None, :]
-        same_loc = l_prev[:, None] == l_cur[None, :]
-        cont = np.log(
-            (1.0 - micro_end) * same_loc
-            + micro_end * self._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
-            + _TINY
-        )
-        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
-        loc_term = np.where(same, cont, reset)
-        return macro_term + loc_term
 
     def _encode(
-        self, s1: List[UserState], s2: List[UserState], i1: np.ndarray, i2: np.ndarray
+        self, c1: CandidateSet, c2: CandidateSet, i1: np.ndarray, i2: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        cm = self.constraint_model
-        m1 = np.array([cm.macro_index.index(s1[i].macro) for i in i1], dtype=int)
-        l1 = np.array([cm.subloc_index.index(s1[i].subloc) for i in i1], dtype=int)
-        m2 = np.array([cm.macro_index.index(s2[i].macro) for i in i2], dtype=int)
-        l2 = np.array([cm.subloc_index.index(s2[i].subloc) for i in i2], dtype=int)
-        return m1, l1, m2, l2
+        """Joint-candidate index tuples, by fancy-indexing the candidate
+        sets' precomputed dense encodings (no per-pair label lookups)."""
+        return c1.m[i1], c1.l[i1], c2.m[i2], c2.l[i2]
 
     # -- decoding -----------------------------------------------------------------------
 
@@ -499,11 +607,11 @@ class CoupledHdbn:
         stats = self.last_stats
         per_step = []
         for t in range(len(seq)):
-            s1, e1 = self._user_candidates(seq, rids[0], t)
-            s2, e2 = self._user_candidates(seq, rids[1], t)
-            i1, i2, scores = self._joint_candidates(seq, t, s1, s2, e1, e2, rids)
-            enc = self._encode(s1, s2, i1, i2)
-            per_step.append((s1, s2, i1, i2, scores, enc))
+            c1 = self._user_candidates(seq, rids[0], t)
+            c2 = self._user_candidates(seq, rids[1], t)
+            i1, i2, scores = self._joint_candidates(seq, t, c1, c2, rids)
+            enc = self._encode(c1, c2, i1, i2)
+            per_step.append((c1, c2, i1, i2, scores, enc))
             stats.steps += 1
             stats.joint_states += len(i1)
         return rids, per_step
@@ -514,7 +622,7 @@ class CoupledHdbn:
         cm = self.constraint_model
         stats = self.last_stats
 
-        s1, s2, i1, i2, scores, enc = per_step[0]
+        c1, c2, i1, i2, scores, enc = per_step[0]
         log_prior = (
             np.log(cm.macro_prior[enc[0]] + _TINY)
             + self._log_subloc_prior[enc[0], enc[1]]
@@ -526,7 +634,7 @@ class CoupledHdbn:
 
         for t in range(1, len(per_step)):
             prev_enc = per_step[t - 1][5]
-            s1, s2, i1, i2, scores, enc = per_step[t]
+            c1, c2, i1, i2, scores, enc = per_step[t]
             log_t = self._transition_block(prev_enc, enc)
             stats.transition_entries += log_t.size
             total = delta[:, None] + log_t
@@ -543,9 +651,9 @@ class CoupledHdbn:
         out1: List[str] = []
         out2: List[str] = []
         for t, j in enumerate(path):
-            s1, s2, i1, i2, _, _ = per_step[t]
-            out1.append(s1[i1[j]].macro)
-            out2.append(s2[i2[j]].macro)
+            c1, c2, i1, i2, _, _ = per_step[t]
+            out1.append(c1.states[i1[j]].macro)
+            out2.append(c2.states[i2[j]].macro)
         return {rids[0]: out1, rids[1]: out2}
 
     def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
@@ -554,14 +662,11 @@ class CoupledHdbn:
         cm = self.constraint_model
         n_m = cm.n_macro
 
-        def lse(arr: np.ndarray, axis: int) -> np.ndarray:
-            m = arr.max(axis=axis, keepdims=True)
-            m = np.where(np.isfinite(m), m, 0.0)
-            return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
+        lse = _lse
 
         # Forward.
         alphas: List[np.ndarray] = []
-        s1, s2, i1, i2, scores, enc = per_step[0]
+        c1, c2, i1, i2, scores, enc = per_step[0]
         alpha = (
             np.log(cm.macro_prior[enc[0]] + _TINY)
             + self._log_subloc_prior[enc[0], enc[1]]

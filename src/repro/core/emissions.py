@@ -17,11 +17,16 @@ Missing-modality robustness: any individual channel may be absent at a
 given step (``posture=None``, ``gesture=None``, NaNs in the feature
 vector) — the corresponding term is simply dropped, which is exact
 marginalisation under the model's factorised emission.
+
+Hot path: the object channel is scored from a precomputed per-macro
+"all sensors off" baseline (:class:`ObjectEvidenceTable`) corrected for
+the objects that actually fired, and the per-state loop is replaced by
+fancy-indexing over the candidate list's dense ``(m, l)`` encodings.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol
+from typing import Dict, List, Optional, Protocol
 
 import numpy as np
 
@@ -50,7 +55,11 @@ def object_log_evidence(
     macro_idx: int,
     objects_fired,
 ) -> float:
-    """Sum of per-object Bernoulli log likelihoods for one macro."""
+    """Sum of per-object Bernoulli log likelihoods for one macro.
+
+    Reference implementation (O(#objects) Python loop per call); the hot
+    path uses :class:`ObjectEvidenceTable` instead.
+    """
     if not object_index:
         return 0.0
     total = 0.0
@@ -59,17 +68,70 @@ def object_log_evidence(
     return float(total)
 
 
+class ObjectEvidenceTable:
+    """Precomputed per-macro object evidence.
+
+    ``log P(step's object readings | macro)`` decomposes into a per-macro
+    baseline (every instrumented object silent) plus, for each object that
+    fired, the log-odds correction ``log P(fired) - log P(silent)``.  Both
+    pieces are precomputed at fit time so a step costs one (M,)-vector add
+    per distinct fired set; vectors are memoised per fired set because real
+    traces re-fire the same few combinations (bounded like the other
+    hot-path memos, against pathological streams).
+    """
+
+    _MEMO_LIMIT = 8192
+
+    def __init__(self, object_index: Dict[str, int], log_table: np.ndarray) -> None:
+        self.object_index = dict(object_index)
+        self.log_table = log_table
+        n_m = log_table.shape[0]
+        if self.object_index:
+            self.baseline = log_table[:, :, 0].sum(axis=1)
+            self.delta = log_table[:, :, 1] - log_table[:, :, 0]
+        else:
+            # No instrumented objects seen in training: the channel is flat.
+            self.baseline = np.zeros(n_m)
+            self.delta = np.zeros((n_m, 0))
+        self._memo: Dict[frozenset, np.ndarray] = {}
+
+    def macro_vector(self, objects_fired: frozenset) -> np.ndarray:
+        """(M,) log evidence of the fired-object set under every macro."""
+        cached = self._memo.get(objects_fired)
+        if cached is not None:
+            return cached
+        fired = [self.object_index[o] for o in objects_fired if o in self.object_index]
+        if fired:
+            out = self.baseline + self.delta[:, fired].sum(axis=1)
+        else:
+            out = self.baseline
+        if len(self._memo) >= self._MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[objects_fired] = out
+        return out
+
+
 def user_state_emissions(
     model: EmissionScorer,
     seq: LabeledSequence,
     rid: str,
     t: int,
     states: List[UserState],
+    m: Optional[np.ndarray] = None,
+    l: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Log emission score of each candidate state for one resident/step."""
+    """Log emission score of each candidate state for one resident/step.
+
+    ``m`` / ``l`` are the candidates' dense macro / sub-location indices;
+    when omitted they are resolved from *states* (compatibility path).
+    """
     cm = model.constraint_model
     step = seq.steps[t]
     obs = step.observations[rid]
+    if m is None:
+        m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
+    if l is None:
+        l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
     x = np.asarray(obs.features, dtype=float)
     features_ok = model.use_feature_gmm and x.size > 0 and not np.isnan(x).any()
     p_idx = (
@@ -90,36 +152,55 @@ def user_state_emissions(
         cm.subloc_index, obs.position_estimate, obs.subloc_candidates
     )
 
-    macro_cache: Dict[int, float] = {}
-    out = np.empty(len(states))
-    for i, state in enumerate(states):
-        m = cm.macro_index.index(state.macro)
-        l = cm.subloc_index.index(state.subloc)
-        if m not in macro_cache:
-            score = 0.0
-            if p_idx is not None:
-                score += model._log_posture[m, p_idx]
-            if g_idx is not None and model._log_gesture is not None:
-                score += model._log_gesture[m, g_idx]
-            if features_ok:
-                gmm = model.gmms_.get(m)
+    obj_table: Optional[ObjectEvidenceTable] = getattr(model, "_obj_evidence", None)
+    obj_vec = obj_table.macro_vector(step.objects_fired) if obj_table is not None else None
+    gmm_bank = getattr(model, "_gmm_bank", None) if features_ok else None
+    gmm_lp = gmm_bank.log_pdfs(x) if gmm_bank is not None else None
+
+    # Per-macro score (posture / gesture / features / objects), computed
+    # once per distinct macro in the candidate list.
+    macro_score = np.zeros(cm.n_macro)
+    for mi in np.unique(m):
+        score = 0.0
+        if p_idx is not None:
+            score += model._log_posture[mi, p_idx]
+        if g_idx is not None and model._log_gesture is not None:
+            score += model._log_gesture[mi, g_idx]
+        if features_ok:
+            if gmm_lp is not None:
+                lp = gmm_lp.get(int(mi))
+                if lp is not None:
+                    score += lp
+            else:
+                gmm = model.gmms_.get(int(mi))
                 if gmm is not None:
                     score += gmm.log_pdf(x)
+        if obj_vec is not None:
+            score += obj_vec[mi]
+        else:
             score += object_log_evidence(
                 getattr(model, "_object_index", {}),
                 getattr(model, "_log_obj", np.zeros((0, 0, 2))),
-                m,
+                int(mi),
                 step.objects_fired,
             )
-            macro_cache[m] = score
-        # log P(subloc | macro) occupancy couples the hypothesised location
-        # to the macro at every step (product-of-experts strengthening of
-        # the boundary-only reset coupling; without it, macro-location
-        # agreement enters once per segment and is drowned by accumulated
-        # per-step feature noise).
-        score = macro_cache[m] + loc_weight[l] + model._log_subloc_occ[m, l]
-        room = _ROOM_OF.get(state.subloc)
-        if step.rooms_fired and room not in step.rooms_fired:
-            score += model.pir_miss_penalty
-        out[i] = score
+        macro_score[mi] = score
+
+    # log P(subloc | macro) occupancy couples the hypothesised location
+    # to the macro at every step (product-of-experts strengthening of
+    # the boundary-only reset coupling; without it, macro-location
+    # agreement enters once per segment and is drowned by accumulated
+    # per-step feature noise).
+    out = macro_score[m] + loc_weight[l] + model._log_subloc_occ[m, l]
+    if step.rooms_fired:
+        # PIRs miss stationary residents: penalise states whose enclosing
+        # room is silent while other rooms fire.
+        room_of_l = getattr(getattr(model, "builder", None), "room_of_l", None)
+        if room_of_l is None:
+            room_of_l = np.array(
+                [_ROOM_OF.get(lbl, "unknown") for lbl in cm.subloc_index.labels],
+                dtype=object,
+            )
+        fired_by_l = np.array([r in step.rooms_fired for r in room_of_l], dtype=bool)
+        out[~fired_by_l[l]] += model.pir_miss_penalty
     return out

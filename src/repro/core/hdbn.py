@@ -14,12 +14,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.emissions import user_state_emissions
-from repro.core.state_space import StateSpaceBuilder, UserState, _ROOM_OF
+from repro.core.rule_kernel import CompiledRules, SingleRulePruner
+from repro.core.state_space import StateSpaceBuilder
 from repro.datasets.trace import Dataset, LabeledSequence
 from repro.mining.constraint_miner import ConstraintModel
 from repro.mining.correlation_miner import CorrelationRuleSet
-from repro.models.chmm import soft_location_log_evidence
 from repro.util.rng import RandomState, ensure_rng
 
 _TINY = 1e-12
@@ -52,6 +51,15 @@ class SingleUserHdbn:
             max_states_per_user=4 * self.max_states_per_user,
         )
         self._single_rules = self.rule_set.single_user() if self.rule_set else None
+        self._single_pruner = (
+            SingleRulePruner(
+                CompiledRules(self._single_rules),
+                self.constraint_model,
+                self.builder.room_of_l,
+            )
+            if self._single_rules is not None
+            else None
+        )
         cm = self.constraint_model
         # Counted per step: already conditioned on micro termination.
         self._p_change = np.clip(cm.macro_end_prob, self.min_change_prob, 0.5)
@@ -68,77 +76,49 @@ class SingleUserHdbn:
         )
         self._log_subloc_prior = np.log(cm.subloc_prior + _TINY)
         self._log_subloc_occ = np.log(cm.subloc_occupancy + _TINY)
+        # Precomputed transition log tables: the per-step chain blocks are
+        # pure gathers (shared with the coupled models; the uncoupled
+        # macro table is 2-D).
+        from repro.core.chdbn import build_transition_tables  # avoid a cycle
+
+        self._macro_block_table, self._loc_block_table = build_transition_tables(
+            self._p_change, self._change_trans, cm.micro_end_prob, cm.subloc_trans
+        )
 
     # -- training (shares the coupled model's emission machinery) ----------------
 
     def fit(self, train: Dataset) -> "SingleUserHdbn":
         """Fit per-macro Gaussian mixtures via deterministic annealing."""
-        from repro.core.chdbn import fit_macro_gmms, fit_object_cpt  # avoid a cycle
+        from repro.core.chdbn import fit_emission_tables  # avoid a cycle
 
-        self.gmms_ = fit_macro_gmms(
-            train, self.constraint_model, self.gmm_components, self._rng
-        )
-        self._object_index, self._log_obj = fit_object_cpt(train, self.constraint_model)
+        fit_emission_tables(self, train)
         return self
 
     # -- inference ---------------------------------------------------------------------
 
-    def _candidates(self, seq: LabeledSequence, rid: str, t: int) -> List[UserState]:
-        obs = seq.steps[t].observations[rid]
-        states = self.builder.candidate_states(obs)
-        if self._single_rules is not None:
-            amb = self.builder.ambient_item_set(seq.steps[t])
-            kept = [
-                s
-                for s in states
-                if self._single_rules.is_consistent(
-                    self.builder.state_item_set("u1", s, obs) | amb
-                )
-            ]
-            if kept:
-                states = kept
-        return states
-
-    def _emissions(
-        self, seq: LabeledSequence, rid: str, t: int, states: List[UserState]
-    ) -> np.ndarray:
-        return user_state_emissions(self, seq, rid, t, states)
-
     def _chain_block(
         self, m_prev: np.ndarray, l_prev: np.ndarray, m_cur: np.ndarray, l_cur: np.ndarray
     ) -> np.ndarray:
-        cm = self.constraint_model
+        macro_term = self._macro_block_table[m_prev[:, None], m_cur[None, :]]
         same = m_prev[:, None] == m_cur[None, :]
-        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
-        log_change = (
-            np.log(self._p_change[m_prev])[:, None]
-            + np.log(self._change_trans[m_prev[:, None], m_cur[None, :]] + _TINY)
-        )
-        macro_term = np.where(same, log_stay, log_change)
-        micro_end = cm.micro_end_prob[m_cur][None, :]
-        same_loc = l_prev[:, None] == l_cur[None, :]
-        cont = np.log(
-            (1.0 - micro_end) * same_loc
-            + micro_end * cm.subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
-            + _TINY
-        )
+        cont = self._loc_block_table[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
         reset = self._log_subloc_prior[m_cur, l_cur][None, :]
         return macro_term + np.where(same, cont, reset)
+
+    def _per_step(self, seq: LabeledSequence, rid: str):
+        """Truncated per-step candidate tuples ``(states, e, m, l)``."""
+        from repro.core.chdbn import build_candidate_set  # avoid a cycle
+
+        per_step = []
+        for t in range(len(seq)):
+            c = build_candidate_set(self, seq, rid, t)
+            per_step.append((c.states, c.emissions, c.m, c.l))
+        return per_step
 
     def decode_user(self, seq: LabeledSequence, rid: str) -> List[str]:
         """Macro labels for one resident's chain (Viterbi or frame-wise)."""
         cm = self.constraint_model
-        per_step = []
-        for t in range(len(seq)):
-            states = self._candidates(seq, rid, t)
-            e = self._emissions(seq, rid, t, states)
-            if len(states) > self.max_states_per_user:
-                top = np.argsort(e)[::-1][: self.max_states_per_user]
-                states = [states[i] for i in top]
-                e = e[top]
-            m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
-            l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
-            per_step.append((states, e, m, l))
+        per_step = self._per_step(seq, rid)
 
         if not self.temporal:
             # NCR: rule-pruned frame-wise MAP, no temporal model.  The class
@@ -172,3 +152,54 @@ class SingleUserHdbn:
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Decode every resident independently (no coupling)."""
         return {rid: self.decode_user(seq, rid) for rid in seq.resident_ids}
+
+    # -- marginals (ROC/PRC scores for the NH/NCR comparisons) --------------------
+
+    def _user_marginals(self, seq: LabeledSequence, rid: str) -> np.ndarray:
+        """(T, M) posterior macro marginals for one resident's chain.
+
+        ``temporal=False`` (the NCR strategy) yields frame-wise posteriors
+        under the macro-occupancy prior; ``temporal=True`` runs
+        forward-backward over the same trellis Viterbi decodes.
+        """
+        cm = self.constraint_model
+        n_m = cm.n_macro
+        per_step = self._per_step(seq, rid)
+
+        from repro.core.chdbn import _lse as lse  # avoid a cycle
+
+        out = np.zeros((len(per_step), n_m))
+        if not self.temporal:
+            for t, (_, e, m, _) in enumerate(per_step):
+                log_gamma = e + np.log(cm.macro_occupancy[m] + _TINY)
+                log_gamma -= lse(log_gamma, axis=0)
+                np.add.at(out[t], m, np.exp(log_gamma))
+            return out
+
+        alphas: List[np.ndarray] = []
+        _, e, m, l = per_step[0]
+        alphas.append(np.log(cm.macro_prior[m] + _TINY) + self._log_subloc_prior[m, l] + e)
+        for t in range(1, len(per_step)):
+            _, e, m, l = per_step[t]
+            _, _, pm, pl = per_step[t - 1]
+            log_t = self._chain_block(pm, pl, m, l)
+            alphas.append(e + lse(alphas[-1][:, None] + log_t, axis=0))
+
+        betas: List[Optional[np.ndarray]] = [None] * len(per_step)
+        betas[-1] = np.zeros_like(alphas[-1])
+        for t in range(len(per_step) - 2, -1, -1):
+            _, _, m, l = per_step[t]
+            _, nxt_e, nm, nl = per_step[t + 1]
+            log_t = self._chain_block(m, l, nm, nl)
+            betas[t] = lse(log_t + (nxt_e + betas[t + 1])[None, :], axis=1)
+
+        for t in range(len(per_step)):
+            log_gamma = alphas[t] + betas[t]
+            log_gamma -= lse(log_gamma, axis=0)
+            _, _, m, _ = per_step[t]
+            np.add.at(out[t], m, np.exp(log_gamma))
+        return out
+
+    def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+        """Per-resident posterior macro marginals ``(T, M)``."""
+        return {rid: self._user_marginals(seq, rid) for rid in seq.resident_ids}

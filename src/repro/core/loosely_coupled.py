@@ -28,9 +28,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.chdbn import DecodeStats, fit_macro_gmms, fit_object_cpt
-from repro.core.emissions import user_state_emissions
-from repro.core.state_space import StateSpaceBuilder, UserState, _ROOM_OF
+from repro.core.chdbn import (
+    DecodeStats,
+    _lse,
+    build_candidate_set,
+    build_transition_tables,
+    chain_block,
+    fit_emission_tables,
+)
+from repro.core.rule_kernel import (
+    CompiledRules,
+    CrossRulePruner,
+    SingleRulePruner,
+    StepItems,
+    soft_exclusion_matrix,
+)
+from repro.core.state_space import CandidateSet, StateSpaceBuilder
 from repro.datasets.trace import Dataset, LabeledSequence
 from repro.mining.constraint_miner import ConstraintModel
 from repro.mining.correlation_miner import CorrelationRuleSet
@@ -75,6 +88,19 @@ class NChainHdbn:
         self._single_rules = self.rule_set.single_user() if self.rule_set else None
         self._cross_rules = self.rule_set.cross_user() if self.rule_set else None
         cm = self.constraint_model
+        self._single_pruner = (
+            SingleRulePruner(CompiledRules(self._single_rules), cm, self.builder.room_of_l)
+            if self._single_rules is not None
+            else None
+        )
+        self._compiled_cross = (
+            CompiledRules(self._cross_rules) if self._cross_rules is not None else None
+        )
+        self._cross_pruner = (
+            CrossRulePruner(self._compiled_cross, cm, self.builder.room_of_l)
+            if self._compiled_cross is not None
+            else None
+        )
         self._p_change = np.clip(cm.macro_end_prob, self.min_change_prob, 0.5)
         coupled = cm.macro_trans_coupled.copy()
         n_m = cm.n_macro
@@ -91,174 +117,83 @@ class NChainHdbn:
         self._log_subloc_occ = np.log(cm.subloc_occupancy + _TINY)
         self._subloc_trans = cm.subloc_trans
         self._micro_end = cm.micro_end_prob
+        self._macro_block_table, self._loc_block_table = build_transition_tables(
+            self._p_change, self._change_trans, self._micro_end, self._subloc_trans
+        )
 
     # -- training -----------------------------------------------------------------
 
     def fit(self, train: Dataset) -> "NChainHdbn":
         """Fit emissions: DA Gaussian mixtures + object-evidence CPT."""
-        self.gmms_ = fit_macro_gmms(
-            train, self.constraint_model, self.gmm_components, self._rng
-        )
-        self._object_index, self._log_obj = fit_object_cpt(train, self.constraint_model)
+        fit_emission_tables(self, train)
         return self
 
     # -- per-step machinery ----------------------------------------------------------
 
-    def _user_candidates(
-        self, seq: LabeledSequence, rid: str, t: int
-    ) -> Tuple[List[UserState], np.ndarray]:
-        obs = seq.steps[t].observations[rid]
-        states = self.builder.candidate_states(obs)
-        if self._single_rules is not None:
-            amb = self.builder.ambient_item_set(seq.steps[t])
-            kept = [
-                s
-                for s in states
-                if self._single_rules.is_consistent(
-                    self.builder.state_item_set("u1", s, obs) | amb
-                )
-            ]
-            if kept:
-                states = kept
-        emissions = user_state_emissions(self, seq, rid, t, states)
-        if len(states) > self.max_states_per_user:
-            top = np.argsort(emissions)[::-1][: self.max_states_per_user]
-            states = [states[i] for i in top]
-            emissions = emissions[top]
-        return states, emissions
-
-    def _pairwise_keep(
-        self,
-        step,
-        s_a: List[UserState],
-        s_b: List[UserState],
-        obs_a,
-        obs_b,
-    ) -> np.ndarray:
-        """(|s_a|, |s_b|) mask of pairs consistent with the cross rules."""
-        amb = self.builder.ambient_item_set(step)
-        items_a = [self.builder.state_item_set("u1", s, obs_a) for s in s_a]
-        items_b = [self.builder.state_item_set("u2", s, obs_b) for s in s_b]
-        keep = np.ones((len(s_a), len(s_b)), dtype=bool)
-
-        for excl in self._cross_rules.hard_exclusions:
-            a, b = excl.a, excl.b
-            has_a = np.array([a in it for it in items_a]) if a.slot == "u1" else None
-            has_b = np.array([b in it for it in items_b]) if b.slot == "u2" else None
-            if has_a is None or has_b is None:
-                continue
-            keep &= ~np.outer(has_a, has_b)
-
-        for rule in self._cross_rules.forcing_rules:
-            ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
-            ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
-            ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
-            if not ant_amb <= amb:
-                continue
-            sat1 = np.array([ant1 <= it for it in items_a])
-            sat2 = np.array([ant2 <= it for it in items_b])
-            cons = rule.consequent
-            key = (cons.time, cons.attr)
-            if cons.slot == "u1":
-                viol = np.array(
-                    [
-                        any((i.time, i.attr) == key and i.value != cons.value for i in it)
-                        and cons not in it
-                        for it in items_a
-                    ]
-                )
-                keep &= ~np.outer(sat1 & viol, sat2)
-            elif cons.slot == "u2":
-                viol = np.array(
-                    [
-                        any((i.time, i.attr) == key and i.value != cons.value for i in it)
-                        and cons not in it
-                        for it in items_b
-                    ]
-                )
-                keep &= ~np.outer(sat1, sat2 & viol)
-        return keep
-
-    def _soft_pair_penalty(
-        self,
-        step,
-        s_a: List[UserState],
-        s_b: List[UserState],
-        obs_a,
-        obs_b,
-    ) -> np.ndarray:
-        """(|s_a|, |s_b|) log penalty from violated soft exclusions."""
-        items_a = [self.builder.state_item_set("u1", s, obs_a) for s in s_a]
-        items_b = [self.builder.state_item_set("u2", s, obs_b) for s in s_b]
-        penalty = np.zeros((len(s_a), len(s_b)))
-        for excl in self._cross_rules.soft_exclusions:
-            a, b = excl.a, excl.b
-            if a.slot != "u1" or b.slot != "u2":
-                continue
-            has_a = np.array([a in it for it in items_a])
-            has_b = np.array([b in it for it in items_b])
-            penalty += np.outer(has_a, has_b) * self.soft_exclusion_penalty
-        return penalty
+    def _user_candidates(self, seq: LabeledSequence, rid: str, t: int) -> CandidateSet:
+        return build_candidate_set(self, seq, rid, t)
 
     def _joint_candidates(
         self,
         seq: LabeledSequence,
         t: int,
-        per_user: List[Tuple[List[UserState], np.ndarray]],
+        per_user: List[CandidateSet],
         rids: Sequence[str],
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(J, N) index tuples into the per-user candidate lists + scores."""
         step = seq.steps[t]
         n = len(per_user)
-        sizes = [len(states) for states, _ in per_user]
+        sizes = [len(c) for c in per_user]
         grids = np.indices(sizes).reshape(n, -1).T  # (prod, N)
 
-        if self._cross_rules is not None and self.prune_cross:
+        prune_active = self._cross_pruner is not None and self.prune_cross
+        if prune_active:
+            # The pairwise rule matrices are cached per candidate list, so
+            # every ordered chain pair reuses the same per-rule rows.
+            amb = StepItems(step)
             mask = np.ones(grids.shape[0], dtype=bool)
             for a in range(n):
                 for b in range(a + 1, n):
-                    pair_keep = self._pairwise_keep(
-                        step,
-                        per_user[a][0],
-                        per_user[b][0],
-                        step.observations[rids[a]],
-                        step.observations[rids[b]],
-                    )
+                    pair_keep = self._cross_pruner.keep(amb, per_user[a], per_user[b])
                     mask &= pair_keep[grids[:, a], grids[:, b]]
-            self.last_stats.pruned_joint_states += int((~mask).sum())
             if mask.any():
+                # Count only joint states actually removed (the all-pruned
+                # fallback keeps every pair and must report zero).
+                self.last_stats.pruned_joint_states += int((~mask).sum())
                 grids = grids[mask]
 
         scores = np.zeros(grids.shape[0])
-        for u, (states, emis) in enumerate(per_user):
-            scores += emis[grids[:, u]]
+        for u, c in enumerate(per_user):
+            scores += c.emissions[grids[:, u]]
 
-        if self._cross_rules is not None and self.prune_cross:
-            soft = self._cross_rules.soft_exclusions
-            if soft:
-                for a in range(n):
-                    for b in range(a + 1, n):
-                        pen = self._soft_pair_penalty(
-                            step,
-                            per_user[a][0],
-                            per_user[b][0],
-                            step.observations[rids[a]],
-                            step.observations[rids[b]],
-                        )
+        if prune_active:
+            cm_ = self.constraint_model
+            room_of_l = self.builder.room_of_l
+            for a in range(n):
+                for b in range(a + 1, n):
+                    pen = soft_exclusion_matrix(
+                        self._compiled_cross,
+                        cm_,
+                        room_of_l,
+                        per_user[a],
+                        per_user[b],
+                        self.soft_exclusion_penalty,
+                    )
+                    if pen is not None:
                         scores += pen[grids[:, a], grids[:, b]]
 
         # Joint explaining-away over all chains.
-        locs = [np.array([s.subloc for s in states], dtype=object) for states, _ in per_user]
+        cm = self.constraint_model
         for fired in step.sublocs_fired:
             covered = np.zeros(grids.shape[0], dtype=bool)
-            for u in range(n):
-                covered |= locs[u][grids[:, u]] == fired
+            if fired in cm.subloc_index:
+                f = cm.subloc_index.index(fired)
+                for u, c in enumerate(per_user):
+                    covered |= c.l[grids[:, u]] == f
             scores += np.where(covered, 0.0, self.unexplained_subloc_penalty)
         if not step.sublocs_fired and step.rooms_fired:
-            rooms = [
-                np.array([_ROOM_OF.get(s.subloc) for s in states], dtype=object)
-                for states, _ in per_user
-            ]
+            room_of_l = self.builder.room_of_l
+            rooms = [room_of_l[c.l] for c in per_user]
             for fired in step.rooms_fired:
                 covered = np.zeros(grids.shape[0], dtype=bool)
                 for u in range(n):
@@ -269,24 +204,22 @@ class NChainHdbn:
         if self.rule_set is not None and self.prune_cross:
             cap = min(cap, self.max_joint_states_pruned)
         if grids.shape[0] > cap:
+            self.last_stats.capped_joint_states += grids.shape[0] - cap
             top = np.argsort(scores)[::-1][:cap]
             grids = grids[top]
             scores = scores[top]
         return grids, scores
 
     def _encode(
-        self, per_user: List[Tuple[List[UserState], np.ndarray]], grids: np.ndarray
+        self, per_user: List[CandidateSet], grids: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Macro and subloc index arrays of shape (J, N)."""
-        cm = self.constraint_model
         n = len(per_user)
         m = np.empty((grids.shape[0], n), dtype=int)
         l = np.empty((grids.shape[0], n), dtype=int)
-        for u, (states, _) in enumerate(per_user):
-            ms = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
-            ls = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
-            m[:, u] = ms[grids[:, u]]
-            l[:, u] = ls[grids[:, u]]
+        for u, c in enumerate(per_user):
+            m[:, u] = c.m[grids[:, u]]
+            l[:, u] = c.l[grids[:, u]]
         return m, l
 
     def _chain_block(
@@ -297,28 +230,10 @@ class NChainHdbn:
         m_cur: np.ndarray,
         l_cur: np.ndarray,
     ) -> np.ndarray:
-        """One chain's (P, C) contribution to the joint transition."""
-        same = m_prev[:, None] == m_cur[None, :]
-        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
-        log_change = (
-            np.log(self._p_change[m_prev])[:, None]
-            + np.log(
-                self._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
-                + _TINY
-            )
+        return chain_block(
+            self._macro_block_table, self._loc_block_table, self._log_subloc_prior,
+            m_prev, l_prev, partner_prev, m_cur, l_cur,
         )
-        macro_term = np.where(same, log_stay, log_change)
-
-        micro_end = self._micro_end[m_cur][None, :]
-        same_loc = l_prev[:, None] == l_cur[None, :]
-        cont = np.log(
-            (1.0 - micro_end) * same_loc
-            + micro_end * self._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
-            + _TINY
-        )
-        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
-        loc_term = np.where(same, cont, reset)
-        return macro_term + loc_term
 
     def _transition_block(
         self,
@@ -389,7 +304,7 @@ class NChainHdbn:
         for t, j in enumerate(path):
             per_user, grids, _, _ = per_step[t]
             for u, rid in enumerate(rids):
-                out[rid].append(per_user[u][0][grids[j, u]].macro)
+                out[rid].append(per_user[u].states[grids[j, u]].macro)
         return out
 
     def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
@@ -398,10 +313,7 @@ class NChainHdbn:
         cm = self.constraint_model
         n_m = cm.n_macro
 
-        def lse(arr: np.ndarray, axis: int) -> np.ndarray:
-            m = arr.max(axis=axis, keepdims=True)
-            m = np.where(np.isfinite(m), m, 0.0)
-            return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
+        lse = _lse
 
         alphas: List[np.ndarray] = []
         _, _, scores, (m_enc, l_enc) = per_step[0]

@@ -1,0 +1,299 @@
+"""Seed (pre-optimisation) implementation of the coupled decode hot path.
+
+The optimised hot path in :mod:`repro.core.chdbn`, :mod:`repro.core.
+rule_kernel` and :mod:`repro.core.emissions` replaces per-pair label
+lookups, per-state ``frozenset`` algebra and the per-object Python loop
+with precomputed encodings and boolean/float vectors.  This module keeps
+the original straight-line implementation as the *executable
+specification*: :class:`ReferenceCoupledHdbn` overrides exactly the
+per-step machinery that was rewritten, so
+
+* ``tests/test_decode_stats.py`` asserts the optimised ``decode`` labels
+  are identical and ``posterior_marginals`` agree to 1e-10, and
+* ``benchmarks/bench_decode_hotpath.py`` measures the steps/sec gain.
+
+Do not "optimise" this file — its value is being slow and obviously
+faithful to the seed.
+
+One caveat on "bit-for-bit": the optimised object channel sums the
+per-object Bernoulli logs in a different order (precomputed all-off
+baseline plus fired-object corrections), so emission *scores* can differ
+from this reference in the last ulp.  Label identity therefore holds
+empirically at the seeds the tests and benchmarks pin, not as an IEEE
+guarantee under exact score ties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.chdbn import CoupledHdbn
+from repro.core.emissions import object_log_evidence
+from repro.core.state_space import CandidateSet, UserState, _ROOM_OF
+from repro.datasets.trace import LabeledSequence
+from repro.models.chmm import soft_location_log_evidence
+
+
+def reference_user_state_emissions(
+    model, seq: LabeledSequence, rid: str, t: int, states: List[UserState]
+) -> np.ndarray:
+    """Seed per-state emission loop (per-macro cache, per-object loop)."""
+    cm = model.constraint_model
+    step = seq.steps[t]
+    obs = step.observations[rid]
+    x = np.asarray(obs.features, dtype=float)
+    features_ok = model.use_feature_gmm and x.size > 0 and not np.isnan(x).any()
+    p_idx = (
+        cm.posture_index.index(obs.posture)
+        if (obs.posture is not None and obs.posture in cm.posture_index)
+        else None
+    )
+    g_idx = (
+        cm.gesture_index.index(obs.gesture)
+        if (
+            cm.gesture_index is not None
+            and obs.gesture is not None
+            and obs.gesture in cm.gesture_index
+        )
+        else None
+    )
+    loc_weight = soft_location_log_evidence(
+        cm.subloc_index, obs.position_estimate, obs.subloc_candidates
+    )
+
+    macro_cache: Dict[int, float] = {}
+    out = np.empty(len(states))
+    for i, state in enumerate(states):
+        m = cm.macro_index.index(state.macro)
+        l = cm.subloc_index.index(state.subloc)
+        if m not in macro_cache:
+            score = 0.0
+            if p_idx is not None:
+                score += model._log_posture[m, p_idx]
+            if g_idx is not None and model._log_gesture is not None:
+                score += model._log_gesture[m, g_idx]
+            if features_ok:
+                gmm = model.gmms_.get(m)
+                if gmm is not None:
+                    score += gmm.log_pdf(x)
+            score += object_log_evidence(
+                getattr(model, "_object_index", {}),
+                getattr(model, "_log_obj", np.zeros((0, 0, 2))),
+                m,
+                step.objects_fired,
+            )
+            macro_cache[m] = score
+        score = macro_cache[m] + loc_weight[l] + model._log_subloc_occ[m, l]
+        room = _ROOM_OF.get(state.subloc)
+        if step.rooms_fired and room not in step.rooms_fired:
+            score += model.pir_miss_penalty
+        out[i] = score
+    return out
+
+
+class ReferenceCoupledHdbn(CoupledHdbn):
+    """`CoupledHdbn` with the seed's per-step hot path.
+
+    The Viterbi / sum-product recursions are inherited unchanged; the
+    candidate / pruning / emission machinery and the per-step transition
+    blocks are the original implementations.
+    """
+
+    _TINY = 1e-12
+
+    def _chain_block(
+        self,
+        m_prev: np.ndarray,
+        l_prev: np.ndarray,
+        partner_prev: np.ndarray,
+        m_cur: np.ndarray,
+        l_cur: np.ndarray,
+    ) -> np.ndarray:
+        tiny = self._TINY
+        same = m_prev[:, None] == m_cur[None, :]
+        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
+        log_change = (
+            np.log(self._p_change[m_prev])[:, None]
+            + np.log(
+                self._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
+                + tiny
+            )
+        )
+        macro_term = np.where(same, log_stay, log_change)
+
+        micro_end = self._micro_end[m_cur][None, :]
+        same_loc = l_prev[:, None] == l_cur[None, :]
+        cont = np.log(
+            (1.0 - micro_end) * same_loc
+            + micro_end * self._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
+            + tiny
+        )
+        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
+        loc_term = np.where(same, cont, reset)
+        return macro_term + loc_term
+
+    def _user_candidates(self, seq: LabeledSequence, rid: str, t: int) -> CandidateSet:
+        obs = seq.steps[t].observations[rid]
+        states = self.builder.candidate_states(obs)
+        if self._single_rules is not None and self.prune_per_user:
+            amb = self.builder.ambient_item_set(seq.steps[t])
+            kept = [
+                s
+                for s in states
+                if self._single_rules.is_consistent(
+                    self.builder.state_item_set("u1", s, obs) | amb
+                )
+            ]
+            if kept:
+                states = kept
+        emissions = reference_user_state_emissions(self, seq, rid, t, states)
+        if len(states) > self.max_states_per_user:
+            top = np.argsort(emissions)[::-1][: self.max_states_per_user]
+            states = [states[i] for i in top]
+            emissions = emissions[top]
+        cm = self.constraint_model
+        m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
+        l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
+        return CandidateSet(states=states, m=m, l=l, emissions=emissions, obs=obs)
+
+    def _joint_candidates(
+        self,
+        seq: LabeledSequence,
+        t: int,
+        c1: CandidateSet,
+        c2: CandidateSet,
+        rids: Tuple[str, str],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        s1, s2 = c1.states, c2.states
+        e1, e2 = c1.emissions, c2.emissions
+        n1, n2 = len(s1), len(s2)
+        pairs = np.indices((n1, n2)).reshape(2, -1).T  # (n1*n2, 2)
+        if self._cross_rules is not None and self.prune_cross:
+            keep = self._reference_cross_prune_mask(seq, t, s1, s2, rids)
+            mask = keep[pairs[:, 0], pairs[:, 1]]
+            if mask.any():
+                self.last_stats.pruned_joint_states += int((~mask).sum())
+                pairs = pairs[mask]
+        scores = e1[pairs[:, 0]] + e2[pairs[:, 1]]
+        scores = scores + self._reference_coverage_penalty(seq.steps[t], s1, s2, pairs)
+        if self._cross_rules is not None and self.prune_cross:
+            scores = scores + self._reference_soft_exclusion_penalty(
+                seq.steps[t], s1, s2, pairs, rids
+            )
+        cap = self.max_joint_states
+        if self.rule_set is not None and self.prune_cross:
+            cap = min(cap, self.max_joint_states_pruned)
+        if pairs.shape[0] > cap:
+            self.last_stats.capped_joint_states += pairs.shape[0] - cap
+            top = np.argsort(scores)[::-1][:cap]
+            pairs = pairs[top]
+            scores = scores[top]
+        return pairs[:, 0], pairs[:, 1], scores
+
+    def _reference_coverage_penalty(
+        self,
+        step,
+        s1: List[UserState],
+        s2: List[UserState],
+        pairs: np.ndarray,
+    ) -> np.ndarray:
+        loc1 = np.array([s.subloc for s in s1], dtype=object)
+        loc2 = np.array([s.subloc for s in s2], dtype=object)
+        out = np.zeros(pairs.shape[0])
+        for fired in step.sublocs_fired:
+            covered = (loc1[pairs[:, 0]] == fired) | (loc2[pairs[:, 1]] == fired)
+            out += np.where(covered, 0.0, self.unexplained_subloc_penalty)
+        if not step.sublocs_fired and step.rooms_fired:
+            room1 = np.array([_ROOM_OF.get(s.subloc) for s in s1], dtype=object)
+            room2 = np.array([_ROOM_OF.get(s.subloc) for s in s2], dtype=object)
+            for fired in step.rooms_fired:
+                covered = (room1[pairs[:, 0]] == fired) | (room2[pairs[:, 1]] == fired)
+                out += np.where(covered, 0.0, self.unexplained_room_penalty)
+        return out
+
+    def _reference_soft_exclusion_penalty(
+        self,
+        step,
+        s1: List[UserState],
+        s2: List[UserState],
+        pairs: np.ndarray,
+        rids: Tuple[str, str],
+    ) -> np.ndarray:
+        soft = self._cross_rules.soft_exclusions
+        if not soft:
+            return np.zeros(pairs.shape[0])
+        obs1 = step.observations[rids[0]]
+        obs2 = step.observations[rids[1]]
+        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
+        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
+        penalty = np.zeros((len(s1), len(s2)))
+        for excl in soft:
+            a, b = excl.a, excl.b
+            if a.slot != "u1" or b.slot != "u2":
+                continue
+            has_a = np.array([a in it for it in items1])
+            has_b = np.array([b in it for it in items2])
+            penalty += np.outer(has_a, has_b) * self.soft_exclusion_penalty
+        return penalty[pairs[:, 0], pairs[:, 1]]
+
+    def _reference_cross_prune_mask(
+        self,
+        seq: LabeledSequence,
+        t: int,
+        s1: List[UserState],
+        s2: List[UserState],
+        rids: Tuple[str, str],
+    ) -> np.ndarray:
+        step = seq.steps[t]
+        amb = self.builder.ambient_item_set(step)
+        obs1 = step.observations[rids[0]]
+        obs2 = step.observations[rids[1]]
+        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
+        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
+        keep = np.ones((len(s1), len(s2)), dtype=bool)
+
+        for excl in self._cross_rules.hard_exclusions:
+            a, b = excl.a, excl.b
+            has_a = np.array([a in it for it in items1]) if a.slot == "u1" else None
+            has_b = np.array([b in it for it in items2]) if b.slot == "u2" else None
+            if has_a is None or has_b is None:
+                continue
+            keep &= ~np.outer(has_a, has_b)
+
+        for rule in self._cross_rules.forcing_rules:
+            ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
+            ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
+            ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
+            if not ant_amb <= amb:
+                continue
+            sat1 = np.array([ant1 <= it for it in items1])
+            sat2 = np.array([ant2 <= it for it in items2])
+            cons = rule.consequent
+            key = (cons.time, cons.attr)
+            if cons.slot == "u1":
+                viol = np.array(
+                    [
+                        any(
+                            (i.time, i.attr) == key and i.value != cons.value
+                            for i in it
+                        )
+                        and cons not in it
+                        for it in items1
+                    ]
+                )
+                keep &= ~np.outer(sat1 & viol, sat2)
+            elif cons.slot == "u2":
+                viol = np.array(
+                    [
+                        any(
+                            (i.time, i.attr) == key and i.value != cons.value
+                            for i in it
+                        )
+                        and cons not in it
+                        for it in items2
+                    ]
+                )
+                keep &= ~np.outer(sat1, sat2 & viol)
+        return keep

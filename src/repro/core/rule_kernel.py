@@ -1,0 +1,448 @@
+"""Vectorised correlation-rule checks over candidate state lists.
+
+The seed implementation materialised one ``frozenset`` of
+:class:`~repro.mining.context_rules.Item` per hypothesised state — and
+rebuilt those sets up to three times per step (per-user pruning, the
+cross-user prune mask, and the soft-exclusion penalty).  This module
+replaces per-pair Python set algebra with boolean matrices precomputed
+per ``(rule, candidate list)``:
+
+* every rule factorises into a *state part* (macro / sub-location / room
+  items — a boolean vector over a candidate list, independent of the
+  step) and a *gate* (posture / gesture / ambient items — one bool per
+  step, independent of the candidate);
+* candidate lists are memoised by the builder per fused sub-location
+  candidate tuple, so each rule's state vectors are computed once per
+  distinct list (:class:`SingleRulePruner` / :class:`CrossRulePruner`
+  cache a ``(rules x candidates)`` matrix per list) and merely *sliced*
+  per step;
+* gates collapse to a 0/1 vector memoised per observed (posture,
+  gesture, fired rooms, fired objects) combination;
+* a step's prune mask is then one small mat-vec (per-user rules) or
+  matmul (cross-user rules): candidate *i* survives iff no gated rule's
+  state part covers it.
+
+The semantics exactly mirror the seed's item-set formulation (kept as the
+executable spec in :mod:`repro.core.reference`): a state contributes
+macro / posture / sub-location / room items at time ``t`` (posture may be
+``None`` when the wearable channel is missing) and a gestural item only
+when the observed gesture is truthy; ambient items are the step's fired
+rooms and objects; items at ``t-1`` or on foreign slots are never
+present.  A forcing rule prunes a candidate when its antecedent is fully
+present and the candidate assigns the consequent's attribute a different
+value (open world: an absent attribute never violates); a hard exclusion
+prunes a pair when it is phrased as ``(u1, u2)`` and both items are
+present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.trace import ContextStep, ResidentObservation
+from repro.mining.context_rules import Item
+from repro.mining.correlation_miner import CorrelationRuleSet
+from repro.mining.rules import AssociationRule
+
+#: Attributes whose presence is a property of the *observation*, not of the
+#: hypothesised state — one bool per step instead of one bool per candidate.
+_SCALAR_ATTRS = frozenset(("posture", "gesture"))
+#: Attributes carried by the hypothesised state itself.
+_STATE_ATTRS = frozenset(("macro", "subloc", "room"))
+
+
+class StepItems:
+    """Scalar ambient-item membership for one step."""
+
+    __slots__ = ("rooms", "objects")
+
+    def __init__(self, step: ContextStep) -> None:
+        self.rooms = step.rooms_fired
+        self.objects = step.objects_fired
+
+    def has(self, item: Item) -> bool:
+        """Is this ambient item part of the step's transaction?"""
+        if item.slot != "amb" or item.time != "t":
+            return False
+        if item.attr == "room":
+            return item.value in self.rooms
+        if item.attr == "object":
+            return item.value in self.objects
+        return False
+
+    def conflicts(self, item: Item) -> bool:
+        """Does the step carry a same-attribute ambient item with a
+        different value?"""
+        if item.time != "t":
+            return False
+        if item.attr == "room":
+            return any(r != item.value for r in self.rooms)
+        if item.attr == "object":
+            return any(o != item.value for o in self.objects)
+        return False
+
+
+def scalar_present(obs: ResidentObservation, item: Item) -> bool:
+    """Presence of an observation-level item (posture / gesture)."""
+    if item.time != "t":
+        return False
+    if item.attr == "posture":
+        return obs.posture == item.value
+    return bool(obs.gesture) and obs.gesture == item.value
+
+
+def scalar_conflict(obs: ResidentObservation, cons: Item) -> bool:
+    """Same-attribute-different-value check for observation-level items."""
+    if cons.time != "t":
+        return False
+    if cons.attr == "posture":
+        return obs.posture != cons.value
+    return bool(obs.gesture) and obs.gesture != cons.value
+
+
+def state_present(
+    item: Item, m: np.ndarray, l: np.ndarray, cm, rooms: np.ndarray
+) -> np.ndarray:
+    """(n,) mask: candidate states containing a state-level item."""
+    n = m.shape[0]
+    if item.time != "t":
+        return np.zeros(n, dtype=bool)
+    if item.attr == "macro":
+        if item.value in cm.macro_index:
+            return m == cm.macro_index.index(item.value)
+        return np.zeros(n, dtype=bool)
+    if item.attr == "subloc":
+        if item.value in cm.subloc_index:
+            return l == cm.subloc_index.index(item.value)
+        return np.zeros(n, dtype=bool)
+    if item.attr == "room":
+        return rooms == item.value
+    return np.zeros(n, dtype=bool)
+
+
+def state_conflict(
+    cons: Item, m: np.ndarray, l: np.ndarray, cm, rooms: np.ndarray
+) -> np.ndarray:
+    """(n,) mask: candidates carrying a same-``(time, attr)`` state item
+    with a *different* value."""
+    n = m.shape[0]
+    if cons.time != "t":
+        return np.zeros(n, dtype=bool)
+    if cons.attr == "macro":
+        if cons.value in cm.macro_index:
+            return m != cm.macro_index.index(cons.value)
+        return np.ones(n, dtype=bool)
+    if cons.attr == "subloc":
+        if cons.value in cm.subloc_index:
+            return l != cm.subloc_index.index(cons.value)
+        return np.ones(n, dtype=bool)
+    if cons.attr == "room":
+        return rooms != cons.value
+    return np.zeros(n, dtype=bool)
+
+
+class CompiledForcing:
+    """One forcing rule with its antecedent pre-split by slot and kind."""
+
+    __slots__ = (
+        "ant_u1", "ant_u2", "ant_amb",
+        "u1_scalar", "u1_vector", "u2_scalar", "u2_vector",
+        "cons", "dead",
+    )
+
+    def __init__(self, rule: AssociationRule) -> None:
+        self.ant_u1: Tuple[Item, ...] = tuple(i for i in rule.antecedent if i.slot == "u1")
+        self.ant_u2: Tuple[Item, ...] = tuple(i for i in rule.antecedent if i.slot == "u2")
+        self.ant_amb: Tuple[Item, ...] = tuple(i for i in rule.antecedent if i.slot == "amb")
+        self.u1_scalar = tuple(i for i in self.ant_u1 if i.attr in _SCALAR_ATTRS)
+        self.u1_vector = tuple(i for i in self.ant_u1 if i.attr not in _SCALAR_ATTRS)
+        self.u2_scalar = tuple(i for i in self.ant_u2 if i.attr in _SCALAR_ATTRS)
+        self.u2_vector = tuple(i for i in self.ant_u2 if i.attr not in _SCALAR_ATTRS)
+        self.cons: Item = rule.consequent
+        #: Antecedent items on slots no candidate list ever carries: the
+        #: rule can never fire in the single-user path.
+        self.dead = any(
+            i.slot not in ("u1", "u2", "amb") for i in rule.antecedent
+        )
+
+
+class CompiledRules:
+    """A rule set pre-processed for vectorised per-step evaluation."""
+
+    def __init__(self, rule_set: CorrelationRuleSet) -> None:
+        self.forcing: List[CompiledForcing] = [
+            CompiledForcing(rule) for rule in rule_set.forcing_rules
+        ]
+        self.hard_exclusions = list(rule_set.hard_exclusions)
+        self.soft_exclusions = list(rule_set.soft_exclusions)
+
+
+class _Gate:
+    """The step-dependent activation of one rule row.
+
+    ``amb_items`` must all be fired; ``scalars1`` / ``scalars2`` must all
+    be present in the respective observation; when the consequent lives on
+    an observation-level attribute (``viol_side``/``viol_cons``) or on the
+    ambient slot (``viol_amb``), its violation check is scalar too and
+    folds into the gate.
+    """
+
+    __slots__ = ("amb_items", "scalars1", "scalars2", "viol_side", "viol_cons", "viol_amb")
+
+    def __init__(self, amb_items=(), scalars1=(), scalars2=(), viol_side=0,
+                 viol_cons=None, viol_amb=None) -> None:
+        self.amb_items = tuple(amb_items)
+        self.scalars1 = tuple(scalars1)
+        self.scalars2 = tuple(scalars2)
+        self.viol_side = viol_side
+        self.viol_cons = viol_cons
+        self.viol_amb = viol_amb
+
+    def active(self, amb: StepItems, obs1: ResidentObservation,
+               obs2: Optional[ResidentObservation]) -> bool:
+        for item in self.amb_items:
+            if not amb.has(item):
+                return False
+        for item in self.scalars1:
+            if not scalar_present(obs1, item):
+                return False
+        for item in self.scalars2:
+            if not scalar_present(obs2, item):
+                return False
+        if self.viol_cons is not None:
+            obs = obs1 if self.viol_side == 1 else obs2
+            if not (scalar_conflict(obs, self.viol_cons) and not scalar_present(obs, self.viol_cons)):
+                return False
+        if self.viol_amb is not None:
+            if not (amb.conflicts(self.viol_amb) and not amb.has(self.viol_amb)):
+                return False
+        return True
+
+
+def _state_row(items: Tuple[Item, ...], viol_cons: Optional[Item],
+               m: np.ndarray, l: np.ndarray, cm, rooms: np.ndarray) -> np.ndarray:
+    """AND of the state-level item masks, optionally times the consequent's
+    state-level violation mask."""
+    row = np.ones(m.shape[0], dtype=bool)
+    for item in items:
+        row &= state_present(item, m, l, cm, rooms)
+    if viol_cons is not None:
+        row &= state_conflict(viol_cons, m, l, cm, rooms)
+        row &= ~state_present(viol_cons, m, l, cm, rooms)
+    return row
+
+
+_CACHE_LIMIT = 8192
+
+
+class SingleRulePruner:
+    """Per-user rule pruning as one gate mat-vec per step.
+
+    Row *r* of the cached per-candidate-list matrix is rule *r*'s
+    state-part violation mask; a candidate is kept iff no active rule's
+    row covers it — exactly ``rule_set.is_consistent(state_items | amb)``
+    for single-user rule sets (which carry no exclusions).
+    """
+
+    def __init__(self, compiled: CompiledRules, cm, room_of_l: np.ndarray) -> None:
+        self._cm = cm
+        self._room_of_l = room_of_l
+        self._rows_cache: Dict[tuple, np.ndarray] = {}
+        self._gate_cache: Dict[tuple, np.ndarray] = {}
+        self._specs: List[Tuple[Tuple[Item, ...], Optional[Item], _Gate]] = []
+        for rule in compiled.forcing:
+            if rule.dead or rule.ant_u2:
+                # Canonicalised single-user rules live on u1 + amb only.
+                continue
+            cons = rule.cons
+            if cons.slot == "u1":
+                if cons.attr in _SCALAR_ATTRS:
+                    gate = _Gate(rule.ant_amb, rule.u1_scalar, (), 1, cons, None)
+                    self._specs.append((rule.u1_vector, None, gate))
+                else:
+                    gate = _Gate(rule.ant_amb, rule.u1_scalar, ())
+                    self._specs.append((rule.u1_vector, cons, gate))
+            elif cons.slot == "amb":
+                gate = _Gate(rule.ant_amb, rule.u1_scalar, (), 0, None, cons)
+                self._specs.append((rule.u1_vector, None, gate))
+            # Other consequent slots can never be violated by one user's
+            # items (open world) — no row.
+
+    @property
+    def n_rules(self) -> int:
+        return len(self._specs)
+
+    def _rows(self, key: tuple, m: np.ndarray, l: np.ndarray) -> np.ndarray:
+        rows = self._rows_cache.get(key)
+        if rows is None:
+            rooms = self._room_of_l[l]
+            rows = np.zeros((len(self._specs), m.shape[0]))
+            for r, (items, viol_cons, _) in enumerate(self._specs):
+                rows[r] = _state_row(items, viol_cons, m, l, self._cm, rooms)
+            if len(self._rows_cache) >= _CACHE_LIMIT:
+                self._rows_cache.clear()
+            self._rows_cache[key] = rows
+        return rows
+
+    def _gates(self, amb: StepItems, obs: ResidentObservation) -> np.ndarray:
+        key = (obs.posture, obs.gesture, amb.rooms, amb.objects)
+        gates = self._gate_cache.get(key)
+        if gates is None:
+            gates = np.array(
+                [1.0 if gate.active(amb, obs, None) else 0.0 for _, _, gate in self._specs]
+            )
+            if len(self._gate_cache) >= _CACHE_LIMIT:
+                self._gate_cache.clear()
+            self._gate_cache[key] = gates
+        return gates
+
+    def keep(
+        self,
+        key: tuple,
+        m: np.ndarray,
+        l: np.ndarray,
+        obs: ResidentObservation,
+        amb: StepItems,
+    ) -> np.ndarray:
+        """(n,) mask of candidates consistent with the single-user rules."""
+        if not self._specs:
+            return np.ones(m.shape[0], dtype=bool)
+        violations = self._gates(amb, obs) @ self._rows(key, m, l)
+        return violations == 0.0
+
+
+class CrossRulePruner:
+    """Cross-user rule pruning as one gated matmul per step.
+
+    Each prunable relation — a ``(u1, u2)`` hard exclusion, or a forcing
+    rule whose consequent sits on one of the two slots — contributes a row
+    pair ``(row_u1, row_u2)``: the joint state ``(i, j)`` is pruned when
+    the rule's gate is open and ``row_u1[i] & row_u2[j]``.  Row pairs are
+    cached per candidate-list key and sliced per step, so the mask costs
+    one ``(n1, R) @ (R, n2)`` product.
+
+    Matches the seed's ``_cross_prune_mask`` semantics exactly, including
+    its asymmetries: hard exclusions apply only when phrased as
+    ``(u1, u2)``, and a forcing consequent on any other slot never prunes.
+    """
+
+    def __init__(self, compiled: CompiledRules, cm, room_of_l: np.ndarray) -> None:
+        self._cm = cm
+        self._room_of_l = room_of_l
+        self._rows_cache: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        self._gate_cache: Dict[tuple, np.ndarray] = {}
+        #: (items1, viol1, items2, viol2, gate) per row.
+        self._specs: List[tuple] = []
+
+        for excl in compiled.hard_exclusions:
+            a, b = excl.a, excl.b
+            if a.slot != "u1" or b.slot != "u2":
+                continue
+            items1 = (a,) if a.attr not in _SCALAR_ATTRS else ()
+            items2 = (b,) if b.attr not in _SCALAR_ATTRS else ()
+            gate = _Gate(
+                (),
+                (a,) if a.attr in _SCALAR_ATTRS else (),
+                (b,) if b.attr in _SCALAR_ATTRS else (),
+            )
+            self._specs.append((items1, None, items2, None, gate))
+
+        for rule in compiled.forcing:
+            cons = rule.cons
+            if cons.slot not in ("u1", "u2"):
+                continue
+            viol1 = viol2 = None
+            viol_side, viol_cons = 0, None
+            if cons.attr in _SCALAR_ATTRS:
+                viol_side = 1 if cons.slot == "u1" else 2
+                viol_cons = cons
+            elif cons.slot == "u1":
+                viol1 = cons
+            else:
+                viol2 = cons
+            gate = _Gate(rule.ant_amb, rule.u1_scalar, rule.u2_scalar, viol_side, viol_cons)
+            self._specs.append((rule.u1_vector, viol1, rule.u2_vector, viol2, gate))
+
+    @property
+    def n_rules(self) -> int:
+        return len(self._specs)
+
+    def _rows(self, key: tuple, m: np.ndarray, l: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(R, n) state-part matrices for a *full* candidate list, for this
+        list playing the u1 side and the u2 side respectively."""
+        rows = self._rows_cache.get(key)
+        if rows is None:
+            rooms = self._room_of_l[l]
+            r1 = np.zeros((len(self._specs), m.shape[0]))
+            r2 = np.zeros_like(r1)
+            for r, (items1, viol1, items2, viol2, _) in enumerate(self._specs):
+                r1[r] = _state_row(items1, viol1, m, l, self._cm, rooms)
+                r2[r] = _state_row(items2, viol2, m, l, self._cm, rooms)
+            rows = (r1, r2)
+            if len(self._rows_cache) >= _CACHE_LIMIT:
+                self._rows_cache.clear()
+            self._rows_cache[key] = rows
+        return rows
+
+    def _gates(
+        self, amb: StepItems, obs1: ResidentObservation, obs2: ResidentObservation
+    ) -> np.ndarray:
+        key = (obs1.posture, obs1.gesture, obs2.posture, obs2.gesture, amb.rooms, amb.objects)
+        gates = self._gate_cache.get(key)
+        if gates is None:
+            gates = np.array(
+                [1.0 if spec[4].active(amb, obs1, obs2) else 0.0 for spec in self._specs]
+            )
+            if len(self._gate_cache) >= _CACHE_LIMIT:
+                self._gate_cache.clear()
+            self._gate_cache[key] = gates
+        return gates
+
+    def keep(self, amb: StepItems, c1, c2) -> np.ndarray:
+        """(|c1|, |c2|) mask of joint states consistent with the rules.
+
+        ``c1`` / ``c2`` are :class:`~repro.core.state_space.CandidateSet`
+        instances carrying their source-list key, full arrays and the
+        surviving indices.
+        """
+        n1, n2 = len(c1), len(c2)
+        if not self._specs:
+            return np.ones((n1, n2), dtype=bool)
+        rows1 = self._rows(c1.src_key, c1.src_m, c1.src_l)[0][:, c1.src_idx]
+        rows2 = self._rows(c2.src_key, c2.src_m, c2.src_l)[1][:, c2.src_idx]
+        gates = self._gates(amb, c1.obs, c2.obs)
+        hits = (rows1 * gates[:, None]).T @ rows2
+        return hits == 0.0
+
+
+def soft_exclusion_matrix(
+    compiled: CompiledRules, cm, room_of_l: np.ndarray, c1, c2, log_penalty: float
+) -> Optional[np.ndarray]:
+    """(|c1|, |c2|) log penalty from violated soft exclusions, or None when
+    there are none (or the penalty weight is zero — an all-zero matrix
+    cannot change any score ordering)."""
+    if not compiled.soft_exclusions or log_penalty == 0.0:
+        return None
+    rooms1 = room_of_l[c1.l]
+    rooms2 = room_of_l[c2.l]
+    penalty = np.zeros((len(c1), len(c2)))
+    for excl in compiled.soft_exclusions:
+        a, b = excl.a, excl.b
+        if a.slot != "u1" or b.slot != "u2":
+            continue
+        if a.attr in _SCALAR_ATTRS:
+            if not scalar_present(c1.obs, a):
+                continue
+            has_a = np.ones(len(c1), dtype=bool)
+        else:
+            has_a = state_present(a, c1.m, c1.l, cm, rooms1)
+        if b.attr in _SCALAR_ATTRS:
+            if not scalar_present(c2.obs, b):
+                continue
+            has_b = np.ones(len(c2), dtype=bool)
+        else:
+            has_b = state_present(b, c2.m, c2.l, cm, rooms2)
+        penalty += np.outer(has_a, has_b) * log_penalty
+    return penalty

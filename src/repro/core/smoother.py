@@ -11,6 +11,11 @@ arrives, using a backward sweep restricted to the lag window (fixed-lag
 smoothing).  With ``lag >= len(seq)`` the committed labels equal the full
 forward-backward marginals' argmax; small lags trade a little accuracy for
 bounded latency and O(lag) memory.
+
+``push`` performs the same :class:`~repro.core.chdbn.DecodeStats`
+accounting as offline decoding (steps, surviving joint states, evaluated
+transition entries, pruned/capped counts), so streaming overhead reports
+match the Fig 11 metrics.
 """
 
 from __future__ import annotations
@@ -20,16 +25,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.chdbn import CoupledHdbn
+from repro.core.chdbn import CoupledHdbn, _lse
 from repro.datasets.trace import LabeledSequence
 
 _TINY = 1e-12
-
-
-def _lse(arr: np.ndarray, axis: int) -> np.ndarray:
-    m = arr.max(axis=axis, keepdims=True)
-    m = np.where(np.isfinite(m), m, 0.0)
-    return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
 
 
 @dataclass
@@ -77,11 +76,17 @@ class OnlineSmoother:
             raise ValueError(f"steps must arrive in order; expected {len(self._pieces)}, got {t}")
         model = self.model
         seq = self._seq
-        s1, e1 = model._user_candidates(seq, self._rids[0], t)
-        s2, e2 = model._user_candidates(seq, self._rids[1], t)
-        i1, i2, scores = model._joint_candidates(seq, t, s1, s2, e1, e2, self._rids)
-        enc = model._encode(s1, s2, i1, i2)
-        self._pieces.append((s1, s2, i1, i2, scores, enc))
+        c1 = model._user_candidates(seq, self._rids[0], t)
+        c2 = model._user_candidates(seq, self._rids[1], t)
+        i1, i2, scores = model._joint_candidates(seq, t, c1, c2, self._rids)
+        enc = model._encode(c1, c2, i1, i2)
+        self._pieces.append((c1, c2, i1, i2, scores, enc))
+        # Mirror CoupledHdbn._prepare / decode accounting so streaming
+        # overhead reports are as meaningful as offline ones (pruned /
+        # capped joint states are counted inside _joint_candidates).
+        stats = model.last_stats
+        stats.steps += 1
+        stats.joint_states += len(i1)
 
         cm = model.constraint_model
         if t == 0:
@@ -95,6 +100,7 @@ class OnlineSmoother:
         else:
             prev_enc = self._pieces[t - 1][5]
             log_t = model._transition_block(prev_enc, enc)
+            stats.transition_entries += log_t.size
             alpha = scores + _lse(self._alphas[-1][:, None] + log_t, axis=0)
         self._alphas.append(alpha)
 

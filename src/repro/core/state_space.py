@@ -9,6 +9,12 @@ whose mined location prior puts non-trivial mass on those candidates.
 
 The correlation miners then *reduce* this space (step 4); the builder also
 exposes the item-set encoding that rule checking consumes.
+
+Hot-path support: candidate lists depend only on the fused sub-location
+candidate set, so the builder memoises them per candidate tuple together
+with their dense ``(macro, subloc)`` index encodings.  Downstream code
+(emissions, pruning, trellis assembly) indexes those arrays instead of
+re-resolving labels through ``LabelIndex`` per joint pair.
 """
 
 from __future__ import annotations
@@ -34,6 +40,53 @@ class UserState(NamedTuple):
 
 
 @dataclass
+class CandidateSet:
+    """One resident's per-step candidates with precomputed encodings.
+
+    ``m`` / ``l`` are the dense macro / sub-location indices of ``states``
+    in the constraint model's label spaces, resolved once at candidate
+    build time so the decode hot path never performs per-pair label
+    lookups.  ``emissions`` is the per-state log emission score.
+
+    ``src_key`` / ``src_m`` / ``src_l`` identify the builder's memoised
+    *full* candidate list this set was filtered from, and ``src_idx``
+    holds the surviving indices into it — the rule pruners cache per-rule
+    boolean matrices per source list and slice them with ``src_idx``
+    instead of recomputing them per step.
+    """
+
+    states: List[UserState]
+    m: np.ndarray
+    l: np.ndarray
+    emissions: np.ndarray
+    obs: ResidentObservation
+    src_key: Optional[Tuple[str, ...]] = None
+    src_idx: Optional[np.ndarray] = None
+    src_m: Optional[np.ndarray] = None
+    src_l: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def take(self, idx: np.ndarray) -> "CandidateSet":
+        """Sub-select candidates (keeps all fields aligned)."""
+        idx = np.asarray(idx)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        return CandidateSet(
+            states=[self.states[i] for i in idx],
+            m=self.m[idx],
+            l=self.l[idx],
+            emissions=self.emissions[idx],
+            obs=self.obs,
+            src_key=self.src_key,
+            src_idx=self.src_idx[idx] if self.src_idx is not None else None,
+            src_m=self.src_m,
+            src_l=self.src_l,
+        )
+
+
+@dataclass
 class StateSpaceBuilder:
     """Builds per-step candidate states from observations.
 
@@ -54,6 +107,45 @@ class StateSpaceBuilder:
     macro_mass_threshold: float = 0.02
     min_subloc_prior: float = 0.01
     max_states_per_user: int = 60
+    #: Memo of encoded candidate lists keyed by the fused sub-location
+    #: candidate tuple (the only observation field the builder reads).
+    _cand_cache: Dict[Tuple[str, ...], Tuple[List[UserState], np.ndarray, np.ndarray]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    #: Safety bound on the memo — candidate tuples are drawn from a small
+    #: fused vocabulary, but a pathological stream must not grow it forever.
+    _cand_cache_limit: int = 8192
+
+    def __post_init__(self) -> None:
+        cm = self.constraint_model
+        #: Enclosing-room label per dense sub-location index (object dtype so
+        #: fancy-indexed slices compare against room strings directly).
+        self.room_of_l = np.array(
+            [_ROOM_OF.get(lbl, "unknown") for lbl in cm.subloc_index.labels], dtype=object
+        )
+
+    def candidate_states_encoded(
+        self, obs: ResidentObservation
+    ) -> Tuple[List[UserState], np.ndarray, np.ndarray]:
+        """Memoised ``(states, macro_idx, subloc_idx)`` for one observation.
+
+        Candidate creation depends only on ``obs.subloc_candidates``, so the
+        result — including the dense index encodings the trellis needs — is
+        cached per candidate tuple.  Callers must treat the returned list
+        and arrays as immutable.
+        """
+        key = obs.subloc_candidates
+        hit = self._cand_cache.get(key)
+        if hit is None:
+            cm = self.constraint_model
+            states = self.candidate_states(obs)
+            m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
+            l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
+            if len(self._cand_cache) >= self._cand_cache_limit:
+                self._cand_cache.clear()
+            hit = (states, m, l)
+            self._cand_cache[key] = hit
+        return hit
 
     def candidate_states(self, obs: ResidentObservation) -> List[UserState]:
         """Candidate ``(macro, subloc)`` states for one resident at one step.

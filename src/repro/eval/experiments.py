@@ -783,3 +783,144 @@ def fig12_incremental(
                 )
             )
     return IncrementalResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Decode hot-path throughput (the overhaul's acceptance benchmark)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DecodeHotpathResult:
+    """Steps/sec of the optimised decode hot path vs the seed reference."""
+
+    steps: int
+    seconds_reference: float
+    seconds_optimised: float
+    seconds_batched: float
+    workers: int
+    labels_identical: bool
+
+    @property
+    def reference_steps_per_s(self) -> float:
+        """Seed-implementation throughput."""
+        return self.steps / max(self.seconds_reference, 1e-12)
+
+    @property
+    def optimised_steps_per_s(self) -> float:
+        """Optimised-implementation throughput (serial)."""
+        return self.steps / max(self.seconds_optimised, 1e-12)
+
+    @property
+    def batched_steps_per_s(self) -> float:
+        """Optimised throughput through ``predict_dataset(workers=N)``."""
+        return self.steps / max(self.seconds_batched, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        """Serial optimised vs seed reference."""
+        return self.seconds_reference / max(self.seconds_optimised, 1e-12)
+
+    def render(self) -> str:
+        """Benchmark table (before vs after, plus the batched path)."""
+        rows = [
+            ("reference (seed)", self.seconds_reference, self.reference_steps_per_s),
+            ("optimised", self.seconds_optimised, self.optimised_steps_per_s),
+            (f"optimised x{self.workers} workers", self.seconds_batched, self.batched_steps_per_s),
+        ]
+        lines = ["decode hot path (c2, seeded CACE corpus)"]
+        lines.append(f"{'variant':<26}{'seconds':>10}{'steps/s':>12}")
+        for name, secs, sps in rows:
+            lines.append(f"{name:<26}{secs:>10.3f}{sps:>12.1f}")
+        lines.append(
+            f"speedup: {self.speedup:.2f}x | labels identical: {self.labels_identical}"
+        )
+        return "\n".join(lines)
+
+
+def decode_hotpath_benchmark(
+    n_homes: int = 2,
+    sessions_per_home: int = 4,
+    duration_s: float = 2400.0,
+    seed: RandomState = 7,
+    workers: int = 2,
+) -> DecodeHotpathResult:
+    """Time c2 decoding, seed hot path vs optimised, on one fitted model.
+
+    Both recognisers are constructed with identical parameters and seeds
+    (deterministic-annealing GMMs included); only the per-step machinery
+    differs.  Emission *scores* can differ from the seed in the last ulp
+    (the object channel's baseline+delta summation rounds differently
+    from the seed's sequential per-object sum), so label identity is an
+    empirical property at fixed seeds — exactly what
+    ``labels_identical`` asserts — rather than a floating-point
+    guarantee under score ties.
+
+    Measures *steady-state* throughput: each variant decodes the test set
+    once untimed first, so the optimised path's memoised candidate lists
+    and rule matrices are warm — the regime a long-running recogniser
+    lives in (those caches key on the small fused-candidate vocabulary
+    and fill within the first session).
+    """
+    import time
+
+    from repro.core.chdbn import CoupledHdbn
+    from repro.core.reference import ReferenceCoupledHdbn
+    from repro.mining.constraint_miner import ConstraintMiner
+
+    rng = ensure_rng(seed)
+    dataset = generate_cace_dataset(
+        n_homes=n_homes,
+        sessions_per_home=sessions_per_home,
+        duration_s=duration_s,
+        seed=rng.integers(0, 2**31),
+    )
+    train, test = train_test_split(dataset, 0.7, seed=rng.integers(0, 2**31))
+    rule_set = CorrelationMiner().mine(train.sequences)
+    constraint_model = ConstraintMiner().fit(
+        train.sequences,
+        train.macro_vocab,
+        train.postural_vocab,
+        train.gestural_vocab,
+        train.subloc_vocab,
+    )
+    model_seed = int(rng.integers(0, 2**31))
+    fast = CoupledHdbn(
+        constraint_model=constraint_model, rule_set=rule_set, seed=model_seed
+    ).fit(train)
+    reference = ReferenceCoupledHdbn(
+        constraint_model=constraint_model, rule_set=rule_set, seed=model_seed
+    ).fit(train)
+
+    steps = sum(len(seq) for seq in test.sequences)
+
+    fast_labels = [fast.decode(seq) for seq in test.sequences]  # warm-up
+    t0 = time.perf_counter()
+    fast_labels_timed = [fast.decode(seq) for seq in test.sequences]
+    seconds_optimised = time.perf_counter() - t0
+
+    ref_labels = [reference.decode(seq) for seq in test.sequences]  # warm-up
+    t0 = time.perf_counter()
+    reference_labels_timed = [reference.decode(seq) for seq in test.sequences]
+    seconds_reference = time.perf_counter() - t0
+    assert fast_labels_timed == fast_labels
+    assert reference_labels_timed == ref_labels
+
+    engine = CaceEngine(strategy="c2", seed=model_seed)
+    engine.model_ = fast
+    try:
+        engine.predict_dataset(test, workers=workers)  # warm-up (pool spawn + model ship)
+        t0 = time.perf_counter()
+        engine.predict_dataset(test, workers=workers)
+        seconds_batched = time.perf_counter() - t0
+    finally:
+        engine.close()
+
+    return DecodeHotpathResult(
+        steps=steps,
+        seconds_reference=seconds_reference,
+        seconds_optimised=seconds_optimised,
+        seconds_batched=seconds_batched,
+        workers=workers,
+        labels_identical=fast_labels == ref_labels,
+    )
