@@ -7,8 +7,6 @@ toggles each on a fixed corpus so their individual contributions stay
 visible as the code evolves.
 """
 
-import numpy as np
-
 from benchmarks.conftest import record, workload
 from repro.core.engine import CaceEngine
 from repro.datasets.cace import generate_cace_dataset

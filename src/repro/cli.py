@@ -12,9 +12,14 @@ Commands
     JSON for later runs.
 ``mine``
     Mine correlation rules from a stored corpus and save/print them.
+``fit``
+    Train an engine on a stored corpus and save it as a versioned model
+    artifact (``repro.model/1`` JSON).
 ``recognize``
     Train on one stored corpus, decode another (or a held-out split), and
-    report accuracy metrics.
+    report accuracy metrics.  With ``--model ART`` a saved artifact is
+    served instead of training, and ``--stream`` decodes through the
+    serving facade's per-session fixed-lag smoothers (``--lag``).
 
 Every command accepts ``--seed`` for reproducibility; workloads default to
 small sizes so a laptop run finishes in seconds to minutes.
@@ -72,11 +77,31 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-support", type=float, default=0.04)
     mine.add_argument("--min-confidence", type=float, default=0.99)
 
+    fit = sub.add_parser("fit", help="train an engine, save a model artifact")
+    fit.add_argument("corpus", help="training corpus JSON path")
+    fit.add_argument("output", help="model artifact JSON path")
+    fit.add_argument("--strategy", choices=["nh", "ncr", "ncs", "c2"], default="c2")
+    fit.add_argument("--min-support", type=float, default=0.04)
+    fit.add_argument("--min-confidence", type=float, default=0.99)
+    fit.add_argument("--seed", type=int, default=7)
+
     rec = sub.add_parser("recognize", help="train + evaluate on a stored corpus")
     rec.add_argument("corpus", help="corpus JSON path")
     rec.add_argument("--strategy", choices=["nh", "ncr", "ncs", "c2"], default="c2")
     rec.add_argument("--train-fraction", type=float, default=0.7)
     rec.add_argument("--seed", type=int, default=7)
+    rec.add_argument(
+        "--model",
+        help="saved model artifact; serves it on the whole corpus instead of training",
+    )
+    rec.add_argument(
+        "--stream",
+        action="store_true",
+        help="decode via the serving facade's fixed-lag smoothers (needs --model)",
+    )
+    rec.add_argument(
+        "--lag", type=int, default=4, help="smoothing lag in steps for --stream"
+    )
 
     return parser
 
@@ -152,12 +177,68 @@ def _run_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fit(args: argparse.Namespace) -> int:
+    from repro.core.engine import CaceEngine
+    from repro.util.serialization import load_dataset
+
+    dataset = load_dataset(args.corpus)
+    engine = CaceEngine(
+        strategy=args.strategy,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        seed=args.seed,
+    )
+    engine.fit(dataset)
+    engine.save(args.output)
+    print(
+        f"fitted on {len(dataset.sequences)} sequences in "
+        f"{engine.build_seconds:.2f}s -> {args.output}"
+    )
+    print(engine.describe())
+    return 0
+
+
+def _run_serve_artifact(args: argparse.Namespace) -> int:
+    """``recognize --model``: evaluate a saved artifact on a whole corpus."""
+    from repro.core.engine import CaceEngine
+    from repro.eval.experiments import _flatten_predictions
+    from repro.eval.metrics import evaluate_predictions
+    from repro.util.serialization import load_dataset
+
+    dataset = load_dataset(args.corpus)
+    engine = CaceEngine.load(args.model)
+    if args.stream:
+        from repro.serve import SessionRouter
+
+        router = SessionRouter(engine, lag=args.lag)
+
+        def predict(seq):
+            sid = f"{seq.home_id}:{id(seq)}"
+            for step in seq.steps:
+                router.push(sid, step)
+            return router.close_session(sid)
+
+    else:
+        predict = engine.predict
+    truth, predicted = _flatten_predictions(dataset, predict)
+    report = evaluate_predictions(truth, predicted, list(dataset.macro_vocab))
+    print(report.render())
+    mode = f"streamed (lag={args.lag})" if args.stream else "offline"
+    print(f"{mode} with {engine.describe()}")
+    return 0
+
+
 def _run_recognize(args: argparse.Namespace) -> int:
     from repro.core.engine import CaceEngine
     from repro.datasets.trace import train_test_split
     from repro.eval.experiments import evaluate_engine
     from repro.util.serialization import load_dataset
 
+    if args.stream and not args.model:
+        print("--stream requires --model", file=sys.stderr)
+        return 2
+    if args.model:
+        return _run_serve_artifact(args)
     dataset = load_dataset(args.corpus)
     rng = ensure_rng(args.seed)
     train, test = train_test_split(
@@ -181,6 +262,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _run_experiment,
         "generate": _run_generate,
         "mine": _run_mine,
+        "fit": _run_fit,
         "recognize": _run_recognize,
     }
     return handlers[args.command](args)

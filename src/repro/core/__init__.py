@@ -17,21 +17,29 @@ The paper's contribution, assembled from the substrates:
   (Table V's metric).
 """
 
-from repro.core.chdbn import CoupledHdbn, DecodeStats
+from repro.core.api import DecodeStats, Recognizer, StepFilter, TrellisPiece
+from repro.core.chdbn import CoupledHdbn
 from repro.core.duration import duration_error, extract_segments, match_segments
 from repro.core.engine import CaceEngine
 from repro.core.hdbn import SingleUserHdbn
+from repro.core.loosely_coupled import NChainHdbn
 from repro.core.pruning import PruningStrategy, STRATEGIES
+from repro.core.smoother import OnlineSmoother
 from repro.core.state_space import StateSpaceBuilder, UserState
 
 __all__ = [
     "CoupledHdbn",
     "DecodeStats",
+    "Recognizer",
+    "StepFilter",
+    "TrellisPiece",
     "duration_error",
     "extract_segments",
     "match_segments",
     "CaceEngine",
     "SingleUserHdbn",
+    "NChainHdbn",
+    "OnlineSmoother",
     "PruningStrategy",
     "STRATEGIES",
     "StateSpaceBuilder",

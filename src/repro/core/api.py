@@ -1,0 +1,196 @@
+"""The model-layer contract every CACE recogniser implements.
+
+The four model families (:class:`~repro.core.chdbn.CoupledHdbn`,
+:class:`~repro.core.hdbn.SingleUserHdbn`,
+:class:`~repro.core.loosely_coupled.NChainHdbn`,
+:class:`~repro.models.hmm.MacroHmm`) expose one shared surface —
+:class:`Recognizer` — so the engine, the serving layer, and the CLI can
+treat them interchangeably instead of dispatching on concrete types:
+
+* ``decode`` / ``posterior_marginals`` — offline inference;
+* ``trellis_sessions`` — the incremental-forward adapter the generic
+  fixed-lag :class:`~repro.core.smoother.OnlineSmoother` runs on;
+* ``step_filter`` — a ready-to-stream smoother bound to the model;
+* ``last_stats`` — the :class:`DecodeStats` work accounting of the most
+  recent inference call;
+* ``describe`` — a one-line human-readable summary for logs and CLIs.
+
+A recogniser's trellis decomposes into one or more *sessions* (independent
+chains): the coupled pair and N-chain models expose a single joint
+session, the per-user models one session per resident.  Each session
+yields per-step :class:`TrellisPiece` objects and the transition blocks
+between consecutive pieces; the smoother's forward/backward recursions are
+written once against that interface.
+
+This module sits below the rest of :mod:`repro.core` (it imports none of
+it), so every model family can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.datasets.trace import Dataset, LabeledSequence
+
+
+@dataclass
+class DecodeStats:
+    """Work accounting for one decoded sequence (overhead metrics).
+
+    Field semantics (the paper's Fig 11 overhead metric is derived from
+    these, so they count *actual* work, never hypothetical work):
+
+    ``steps``
+        Time steps whose candidate trellis was built — incremented once
+        per step in both the offline (e.g.
+        :meth:`~repro.core.chdbn.CoupledHdbn._prepare`) and streaming
+        (:meth:`~repro.core.smoother.OnlineSmoother.push`) paths.
+    ``joint_states``
+        Total surviving joint candidates summed over steps and chains
+        (after rule pruning *and* the score cap) — what the trellis
+        actually holds.
+    ``transition_entries``
+        Total entries of the evaluated transition blocks — one
+        ``(prev x cur)`` block per step per chain in the forward pass.
+    ``pruned_joint_states``
+        Joint candidates actually *removed* by correlation pruning.  When
+        every pair fails the rules the pruner keeps them all (never empty
+        the trellis), and that step contributes zero here.
+    ``capped_joint_states``
+        Joint candidates dropped by the best-K emission-score cap
+        (``max_joint_states`` / ``max_joint_states_pruned``), accounted
+        separately from rule pruning.
+    """
+
+    steps: int = 0
+    joint_states: int = 0
+    transition_entries: int = 0
+    pruned_joint_states: int = 0
+    capped_joint_states: int = 0
+
+    @property
+    def mean_joint_states(self) -> float:
+        """Average joint-candidate count per step."""
+        return self.joint_states / max(self.steps, 1)
+
+    def merge(self, other: "DecodeStats") -> "DecodeStats":
+        """Accumulate *other* into this instance (batched decoding)."""
+        self.steps += other.steps
+        self.joint_states += other.joint_states
+        self.transition_entries += other.transition_entries
+        self.pruned_joint_states += other.pruned_joint_states
+        self.capped_joint_states += other.capped_joint_states
+        return self
+
+
+@dataclass
+class TrellisPiece:
+    """One step of one trellis session.
+
+    ``scores`` are the per-candidate log evidence terms added after the
+    transition in the forward recursion; ``enc`` is the session's own
+    dense encoding of the candidates (opaque to the smoother, consumed by
+    :meth:`TrellisSession.transition` / :meth:`TrellisSession.labels`);
+    ``extra`` carries whatever else the session needs (candidate sets).
+    """
+
+    scores: np.ndarray
+    enc: object = None
+    extra: object = None
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
+
+
+class TrellisSession(Protocol):
+    """One independent chain of a recogniser's trellis.
+
+    The generic :class:`~repro.core.smoother.OnlineSmoother` drives its
+    forward recursion and lag-window backward sweeps entirely through this
+    interface; implementations own the model-specific candidate building,
+    encodings, and transition blocks.
+    """
+
+    #: Residents this session labels (a commit dict merges all sessions).
+    rids: Tuple[str, ...]
+
+    def piece(self, t: int) -> TrellisPiece:
+        """Build step *t*'s candidates and evidence scores."""
+        ...
+
+    def initial_alpha(self, piece: TrellisPiece) -> np.ndarray:
+        """``log prior + scores`` over the first piece's candidates."""
+        ...
+
+    def transition(self, prev: TrellisPiece, cur: TrellisPiece) -> Optional[np.ndarray]:
+        """``(|prev|, |cur|)`` log transition block, or ``None`` when the
+        chain has no temporal coupling (frame-wise models)."""
+        ...
+
+    def labels(self, piece: TrellisPiece, gamma: np.ndarray) -> Dict[str, str]:
+        """Per-resident argmax macro labels under posterior *gamma*."""
+        ...
+
+
+@runtime_checkable
+class StepFilter(Protocol):
+    """Incremental forward interface (what ``step_filter`` returns)."""
+
+    stats: DecodeStats
+
+    def start(self, seq: LabeledSequence) -> None:
+        """Begin a session; steps are then consumed with :meth:`push`."""
+        ...
+
+    def push(self, t: int) -> Optional[Dict[str, str]]:
+        """Consume step *t*; return labels committed for ``t - lag``."""
+        ...
+
+    def flush(self) -> List[Dict[str, str]]:
+        """Commit every step still inside the lag window."""
+        ...
+
+    def run(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """Stream a whole session, returning per-resident labels."""
+        ...
+
+
+@runtime_checkable
+class Recognizer(Protocol):
+    """What every CACE model family exposes to the engine and servers."""
+
+    last_stats: Optional[DecodeStats]
+
+    def fit(self, train: Dataset) -> "Recognizer":
+        """Estimate parameters from a labelled training set."""
+        ...
+
+    def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """MAP macro labels per resident."""
+        ...
+
+    def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+        """Per-resident posterior macro marginals ``(T, M)``."""
+        ...
+
+    def trellis_sessions(self, seq: LabeledSequence) -> List[TrellisSession]:
+        """Independent-chain adapters for incremental decoding."""
+        ...
+
+    def step_filter(self, lag: int = 0) -> StepFilter:
+        """A fixed-lag smoother bound to this model."""
+        ...
+
+    def describe(self) -> str:
+        """One-line summary (family, coupling, pruning configuration)."""
+        ...
+
+
+def make_step_filter(model: Recognizer, lag: int = 0) -> StepFilter:
+    """Shared ``step_filter`` body (lazy import keeps this module leaf)."""
+    from repro.core.smoother import OnlineSmoother
+
+    return OnlineSmoother(model, lag=lag)

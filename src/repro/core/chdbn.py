@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
 from repro.core.emissions import ObjectEvidenceTable, user_state_emissions
 from repro.core.rule_kernel import (
     CompiledRules,
@@ -97,52 +98,6 @@ def chain_block(
     return macro_term + np.where(same, cont, reset)
 
 
-@dataclass
-class DecodeStats:
-    """Work accounting for one decoded sequence (overhead metrics).
-
-    Field semantics (the paper's Fig 11 overhead metric is derived from
-    these, so they count *actual* work, never hypothetical work):
-
-    ``steps``
-        Time steps whose candidate trellis was built — incremented once
-        per step in both the offline (:meth:`CoupledHdbn._prepare`) and
-        streaming (:meth:`~repro.core.smoother.OnlineSmoother.push`) paths.
-    ``joint_states``
-        Total surviving joint candidates summed over steps (after rule
-        pruning *and* the score cap) — what the trellis actually holds.
-    ``transition_entries``
-        Total entries of the evaluated transition blocks — one
-        ``(prev x cur)`` block per step in the forward pass.
-    ``pruned_joint_states``
-        Joint candidates actually *removed* by correlation pruning.  When
-        every pair fails the rules the pruner keeps them all (never empty
-        the trellis), and that step contributes zero here.
-    ``capped_joint_states``
-        Joint candidates dropped by the best-K emission-score cap
-        (``max_joint_states`` / ``max_joint_states_pruned``), accounted
-        separately from rule pruning.
-    """
-
-    steps: int = 0
-    joint_states: int = 0
-    transition_entries: int = 0
-    pruned_joint_states: int = 0
-    capped_joint_states: int = 0
-
-    @property
-    def mean_joint_states(self) -> float:
-        """Average joint-candidate count per step."""
-        return self.joint_states / max(self.steps, 1)
-
-    def merge(self, other: "DecodeStats") -> "DecodeStats":
-        """Accumulate *other* into this instance (batched decoding)."""
-        self.steps += other.steps
-        self.joint_states += other.joint_states
-        self.transition_entries += other.transition_entries
-        self.pruned_joint_states += other.pruned_joint_states
-        self.capped_joint_states += other.capped_joint_states
-        return self
 
 
 @dataclass
@@ -359,6 +314,54 @@ def build_candidate_set(
     return candidates
 
 
+class _PairTrellis:
+    """Incremental-forward adapter over the coupled pair trellis.
+
+    One joint session covering both residents; pieces carry the pruned
+    joint candidates, their evidence scores and dense encodings, so the
+    generic smoother reproduces ``_prepare``/``posterior_marginals``
+    numerics exactly.
+    """
+
+    def __init__(self, model: "CoupledHdbn", seq: LabeledSequence, rids: Tuple[str, str]):
+        self.model = model
+        self.seq = seq
+        self.rids = rids
+
+    def piece(self, t: int) -> TrellisPiece:
+        model, seq, rids = self.model, self.seq, self.rids
+        c1 = model._user_candidates(seq, rids[0], t)
+        c2 = model._user_candidates(seq, rids[1], t)
+        i1, i2, scores = model._joint_candidates(seq, t, c1, c2, rids)
+        enc = model._encode(c1, c2, i1, i2)
+        return TrellisPiece(scores=scores, enc=enc, extra=(c1, c2, i1, i2))
+
+    def initial_alpha(self, piece: TrellisPiece) -> np.ndarray:
+        model = self.model
+        cm = model.constraint_model
+        enc = piece.enc
+        return (
+            np.log(cm.macro_prior[enc[0]] + _TINY)
+            + model._log_subloc_prior[enc[0], enc[1]]
+            + np.log(cm.macro_prior[enc[2]] + _TINY)
+            + model._log_subloc_prior[enc[2], enc[3]]
+            + piece.scores
+        )
+
+    def transition(self, prev: TrellisPiece, cur: TrellisPiece) -> np.ndarray:
+        return self.model._transition_block(prev.enc, cur.enc)
+
+    def labels(self, piece: TrellisPiece, gamma: np.ndarray) -> Dict[str, str]:
+        cm = self.model.constraint_model
+        enc = piece.enc
+        out: Dict[str, str] = {}
+        for rid, m_enc in ((self.rids[0], enc[0]), (self.rids[1], enc[2])):
+            marg = np.zeros(cm.n_macro)
+            np.add.at(marg, m_enc, gamma)
+            out[rid] = cm.macro_index.label(int(np.argmax(marg)))
+        return out
+
+
 @dataclass
 class CoupledHdbn:
     """The loosely-coupled HDBN recogniser for a resident pair.
@@ -449,7 +452,6 @@ class CoupledHdbn:
         # happens, where does the macro go (conditioned on the partner)?
         coupled = cm.macro_trans_coupled.copy()
         n_m = cm.n_macro
-        diag = coupled[np.arange(n_m), :, np.arange(n_m)]  # (M, M) -> [m, partner]
         coupled[np.arange(n_m), :, np.arange(n_m)] = 0.0
         row = coupled.sum(axis=2, keepdims=True)
         self._change_trans = coupled / np.maximum(row, _TINY)
@@ -596,6 +598,27 @@ class CoupledHdbn:
         """Joint-candidate index tuples, by fancy-indexing the candidate
         sets' precomputed dense encodings (no per-pair label lookups)."""
         return c1.m[i1], c1.l[i1], c2.m[i2], c2.l[i2]
+
+    # -- Recognizer surface --------------------------------------------------------
+
+    def trellis_sessions(self, seq: LabeledSequence) -> List[_PairTrellis]:
+        """One joint session over the resident pair."""
+        rids = tuple(seq.resident_ids[:2])
+        if len(rids) < 2:
+            raise ValueError("CoupledHdbn expects two residents (use SingleUserHdbn)")
+        return [_PairTrellis(self, seq, rids)]
+
+    def step_filter(self, lag: int = 0):
+        """Fixed-lag smoother bound to this model."""
+        return make_step_filter(self, lag)
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLIs."""
+        pruning = "rule-pruned" if self.rule_set is not None else "unpruned"
+        return (
+            f"coupled 2-chain HDBN ({pruning}, "
+            f"<= {self.max_states_per_user} states/user)"
+        )
 
     # -- decoding -----------------------------------------------------------------------
 

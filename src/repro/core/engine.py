@@ -18,11 +18,13 @@ frame-wise posteriors, so ROC/PRC sweeps cover all four.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.chdbn import CoupledHdbn, DecodeStats
+from repro.core.api import DecodeStats, Recognizer, StepFilter
+from repro.core.chdbn import CoupledHdbn
 from repro.core.hdbn import SingleUserHdbn
 from repro.core.loosely_coupled import NChainHdbn
 from repro.core.pruning import PruningStrategy
@@ -34,19 +36,16 @@ from repro.util.rng import RandomState, ensure_rng
 from repro.util.timer import Stopwatch
 
 
-def _decode_chunk(model, items: Sequence[Tuple[str, LabeledSequence]]):
+def _decode_chunk(model: Recognizer, items: Sequence[Tuple[str, LabeledSequence]]):
     """Worker body for batched decoding: one fitted model, many sessions.
 
     Module-level so it pickles for ``ProcessPoolExecutor``; returns
-    ``(key, predictions, DecodeStats-or-None)`` triples.
+    ``(key, predictions, DecodeStats)`` triples.
     """
     out = []
     for key, seq in items:
-        if isinstance(model, MacroHmm):
-            out.append((key, model.predict(seq), None))
-        else:
-            pred = model.decode(seq)
-            out.append((key, pred, getattr(model, "last_stats", None)))
+        pred = model.decode(seq)
+        out.append((key, pred, model.last_stats))
     return out
 
 
@@ -74,7 +73,7 @@ class CaceEngine:
     seed: RandomState = None
     stopwatch: Stopwatch = field(default_factory=Stopwatch, init=False)
     rule_set_: Optional[CorrelationRuleSet] = field(default=None, init=False)
-    model_: object = field(default=None, init=False)
+    model_: Optional[Recognizer] = field(default=None, init=False)
     #: Aggregate DecodeStats of the last predict_dataset call.
     batch_stats_: Optional[DecodeStats] = field(default=None, init=False)
     _rng: np.random.Generator = field(init=False, repr=False)
@@ -161,8 +160,6 @@ class CaceEngine:
         if self.model_ is None:
             raise RuntimeError("engine is not fitted")
         with self.stopwatch.phase("decode"):
-            if isinstance(self.model_, MacroHmm):
-                return self.model_.predict(seq)
             return self.model_.decode(seq)
 
     def predict_dataset(
@@ -184,9 +181,10 @@ class CaceEngine:
         self.batch_stats_ = DecodeStats()
         out: Dict[str, Dict[str, List[str]]] = {}
         if workers <= 1 or len(items) <= 1:
+            # Serial path: no worker pool is created (or touched) at all.
             for key, seq in items:
                 out[key] = self.predict(seq)
-                stats = getattr(self.model_, "last_stats", None)
+                stats = self.model_.last_stats
                 if stats is not None:
                     self.batch_stats_.merge(stats)
             return out
@@ -215,11 +213,17 @@ class CaceEngine:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the batched-decoding worker pool, if any."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
-            self._pool_workers = 0
+        """Shut down the batched-decoding worker pool, if any.
+
+        Idempotent, and safe on a partially-initialised engine (e.g. when
+        ``__post_init__`` raised before the pool field existed, or when
+        ``fit`` was never called).
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+        self._pool = None
+        self._pool_workers = 0
 
     def __enter__(self) -> "CaceEngine":
         return self
@@ -245,17 +249,40 @@ class CaceEngine:
     def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
         """Posterior macro marginals per resident (scores for ROC/PRC).
 
-        Every strategy is covered: NH via the flat HMM's forward-backward,
-        NCR via the single-user model's frame-wise (or chain) posteriors,
-        NCS/C2 via the coupled trellis sum-product.
+        Every strategy is covered through the shared
+        :class:`~repro.core.api.Recognizer` surface: NH via the flat HMM's
+        forward-backward, NCR via the single-user model's frame-wise (or
+        chain) posteriors, NCS/C2 via the coupled trellis sum-product.
         """
-        if isinstance(self.model_, MacroHmm):
-            return self.model_.predict_proba(seq)
-        if isinstance(self.model_, (CoupledHdbn, NChainHdbn, SingleUserHdbn)):
-            return self.model_.posterior_marginals(seq)
-        raise NotImplementedError(
-            f"posterior marginals unavailable for strategy {self.strategy!r}"
-        )
+        if self.model_ is None:
+            raise RuntimeError("engine is not fitted")
+        return self.model_.posterior_marginals(seq)
+
+    def step_filter(self, lag: int = 0) -> StepFilter:
+        """A fixed-lag smoother bound to the fitted model."""
+        if self.model_ is None:
+            raise RuntimeError("engine is not fitted")
+        return self.model_.step_filter(lag)
+
+    def describe(self) -> str:
+        """One-line summary of the engine and its fitted model."""
+        model = self.model_.describe() if self.model_ is not None else "unfitted"
+        return f"CaceEngine(strategy={self.strategy!r}): {model}"
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the fitted engine as a versioned JSON model artifact."""
+        from repro.util.artifacts import save_engine  # lazy: avoid a cycle
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CaceEngine":
+        """Reconstruct a fitted engine from :meth:`save`'s artifact."""
+        from repro.util.artifacts import load_engine  # lazy: avoid a cycle
+
+        return load_engine(path)
 
     @property
     def build_seconds(self) -> float:

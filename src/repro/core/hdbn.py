@@ -10,10 +10,11 @@ strategy — per-user rule pruning without any inter-user coupling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
 from repro.core.rule_kernel import CompiledRules, SingleRulePruner
 from repro.core.state_space import StateSpaceBuilder
 from repro.datasets.trace import Dataset, LabeledSequence
@@ -42,6 +43,7 @@ class SingleUserHdbn:
     seed: RandomState = None
     builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
     gmms_: Dict[int, object] = field(default_factory=dict, init=False, repr=False)
+    last_stats: DecodeStats = field(default_factory=DecodeStats, init=False)
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -106,12 +108,17 @@ class SingleUserHdbn:
         return macro_term + np.where(same, cont, reset)
 
     def _per_step(self, seq: LabeledSequence, rid: str):
-        """Truncated per-step candidate tuples ``(states, e, m, l)``."""
+        """Truncated per-step candidate tuples ``(states, e, m, l)``.
+
+        Accounts surviving candidates into ``last_stats.joint_states``
+        (callers reset the stats object and stamp ``steps``).
+        """
         from repro.core.chdbn import build_candidate_set  # avoid a cycle
 
         per_step = []
         for t in range(len(seq)):
             c = build_candidate_set(self, seq, rid, t)
+            self.last_stats.joint_states += len(c)
             per_step.append((c.states, c.emissions, c.m, c.l))
         return per_step
 
@@ -137,6 +144,7 @@ class SingleUserHdbn:
             _, e, m, l = per_step[t]
             pm, pl = per_step[t - 1][2], per_step[t - 1][3]
             log_t = self._chain_block(pm, pl, m, l)
+            self.last_stats.transition_entries += log_t.size
             total = delta[:, None] + log_t
             back = np.argmax(total, axis=0)
             delta = total[back, np.arange(total.shape[1])] + e
@@ -151,7 +159,28 @@ class SingleUserHdbn:
 
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Decode every resident independently (no coupling)."""
-        return {rid: self.decode_user(seq, rid) for rid in seq.resident_ids}
+        self.last_stats = DecodeStats()
+        out = {rid: self.decode_user(seq, rid) for rid in seq.resident_ids}
+        # One trellis step per time step, however many chains it spans
+        # (matching the coupled models' accounting).
+        self.last_stats.steps = len(seq)
+        return out
+
+    # -- Recognizer surface --------------------------------------------------------
+
+    def trellis_sessions(self, seq: LabeledSequence) -> List["_UserTrellis"]:
+        """One independent session per resident."""
+        return [_UserTrellis(self, seq, rid) for rid in seq.resident_ids]
+
+    def step_filter(self, lag: int = 0):
+        """Fixed-lag smoother bound to this model."""
+        return make_step_filter(self, lag)
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLIs."""
+        chain = "temporal 1-chain HDBN" if self.temporal else "frame-wise classifier"
+        pruning = "rule-pruned" if self.rule_set is not None else "unpruned"
+        return f"per-user {chain} ({pruning}, <= {self.max_states_per_user} states/user)"
 
     # -- marginals (ROC/PRC scores for the NH/NCR comparisons) --------------------
 
@@ -202,4 +231,53 @@ class SingleUserHdbn:
 
     def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
         """Per-resident posterior macro marginals ``(T, M)``."""
-        return {rid: self._user_marginals(seq, rid) for rid in seq.resident_ids}
+        self.last_stats = DecodeStats()
+        out = {rid: self._user_marginals(seq, rid) for rid in seq.resident_ids}
+        self.last_stats.steps = len(seq)
+        return out
+
+
+class _UserTrellis:
+    """Incremental-forward adapter over one resident's chain.
+
+    ``temporal=False`` (the NCR strategy) exposes no transition: the
+    smoother then reduces to frame-wise filtering over the occupancy-prior
+    posteriors, exactly :meth:`SingleUserHdbn._user_marginals`' path.
+    """
+
+    def __init__(self, model: SingleUserHdbn, seq: LabeledSequence, rid: str):
+        self.model = model
+        self.seq = seq
+        self.rids: Tuple[str, ...] = (rid,)
+
+    def piece(self, t: int) -> TrellisPiece:
+        from repro.core.chdbn import build_candidate_set  # avoid a cycle
+
+        model = self.model
+        c = build_candidate_set(model, self.seq, self.rids[0], t)
+        scores = c.emissions
+        if not model.temporal:
+            cm = model.constraint_model
+            scores = scores + np.log(cm.macro_occupancy[c.m] + _TINY)
+        return TrellisPiece(scores=scores, enc=(c.m, c.l), extra=c.states)
+
+    def initial_alpha(self, piece: TrellisPiece) -> np.ndarray:
+        model = self.model
+        if not model.temporal:
+            return piece.scores
+        cm = model.constraint_model
+        m, l = piece.enc
+        return np.log(cm.macro_prior[m] + _TINY) + model._log_subloc_prior[m, l] + piece.scores
+
+    def transition(self, prev: TrellisPiece, cur: TrellisPiece) -> Optional[np.ndarray]:
+        if not self.model.temporal:
+            return None
+        pm, pl = prev.enc
+        m, l = cur.enc
+        return self.model._chain_block(pm, pl, m, l)
+
+    def labels(self, piece: TrellisPiece, gamma: np.ndarray) -> Dict[str, str]:
+        cm = self.model.constraint_model
+        marg = np.zeros(cm.n_macro)
+        np.add.at(marg, piece.enc[0], gamma)
+        return {self.rids[0]: cm.macro_index.label(int(np.argmax(marg)))}

@@ -28,8 +28,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
 from repro.core.chdbn import (
-    DecodeStats,
     _lse,
     build_candidate_set,
     build_transition_tables,
@@ -252,6 +252,27 @@ class NChainHdbn:
             )
         return total
 
+    # -- Recognizer surface --------------------------------------------------------
+
+    def trellis_sessions(self, seq: LabeledSequence) -> List["_NChainTrellis"]:
+        """One joint session over all resident chains."""
+        rids = tuple(seq.resident_ids)
+        if len(rids) < 2:
+            raise ValueError("NChainHdbn expects >= 2 residents (use SingleUserHdbn)")
+        return [_NChainTrellis(self, seq, rids)]
+
+    def step_filter(self, lag: int = 0):
+        """Fixed-lag smoother bound to this model."""
+        return make_step_filter(self, lag)
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLIs."""
+        pruning = "rule-pruned" if self.rule_set is not None else "unpruned"
+        return (
+            f"loosely-coupled N-chain HDBN ({pruning}, "
+            f"<= {self.max_states_per_user} states/user)"
+        )
+
     # -- decoding -----------------------------------------------------------------------
 
     def _prepare(self, seq: LabeledSequence):
@@ -346,4 +367,43 @@ class NChainHdbn:
             m_enc, _ = per_step[t][3]
             for u, rid in enumerate(rids):
                 np.add.at(out[rid][t], m_enc[:, u], gamma)
+        return out
+
+
+class _NChainTrellis:
+    """Incremental-forward adapter over the joint N-chain trellis."""
+
+    def __init__(self, model: NChainHdbn, seq: LabeledSequence, rids: Tuple[str, ...]):
+        self.model = model
+        self.seq = seq
+        self.rids = rids
+
+    def piece(self, t: int) -> TrellisPiece:
+        model, seq, rids = self.model, self.seq, self.rids
+        per_user = [model._user_candidates(seq, rid, t) for rid in rids]
+        grids, scores = model._joint_candidates(seq, t, per_user, rids)
+        enc = model._encode(per_user, grids)
+        return TrellisPiece(scores=scores, enc=enc, extra=(per_user, grids))
+
+    def initial_alpha(self, piece: TrellisPiece) -> np.ndarray:
+        model = self.model
+        cm = model.constraint_model
+        m_enc, l_enc = piece.enc
+        return piece.scores + np.sum(
+            np.log(cm.macro_prior[m_enc] + _TINY)
+            + model._log_subloc_prior[m_enc, l_enc],
+            axis=1,
+        )
+
+    def transition(self, prev: TrellisPiece, cur: TrellisPiece) -> np.ndarray:
+        return self.model._transition_block(prev.enc, cur.enc)
+
+    def labels(self, piece: TrellisPiece, gamma: np.ndarray) -> Dict[str, str]:
+        cm = self.model.constraint_model
+        m_enc, _ = piece.enc
+        out: Dict[str, str] = {}
+        for u, rid in enumerate(self.rids):
+            marg = np.zeros(cm.n_macro)
+            np.add.at(marg, m_enc[:, u], gamma)
+            out[rid] = cm.macro_index.label(int(np.argmax(marg)))
         return out

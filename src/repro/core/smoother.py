@@ -1,21 +1,26 @@
-"""Online fixed-lag smoothing over the coupled HDBN.
+"""Online fixed-lag smoothing over any CACE recogniser.
 
 The paper's conclusion argues "CACE model can be used as a smoother of any
 online complex activity recognition framework": instead of decoding a full
 recorded session offline (Viterbi), contexts arrive one step at a time and
 each label must be committed within a bounded latency.
 
-:class:`OnlineSmoother` runs the coupled model's forward recursion
+:class:`OnlineSmoother` runs the forward recursion of each of the model's
+trellis sessions (:meth:`~repro.core.api.Recognizer.trellis_sessions`)
 incrementally and commits the label for step ``t - lag`` when step ``t``
 arrives, using a backward sweep restricted to the lag window (fixed-lag
 smoothing).  With ``lag >= len(seq)`` the committed labels equal the full
 forward-backward marginals' argmax; small lags trade a little accuracy for
-bounded latency and O(lag) memory.
+bounded latency and O(lag) memory.  The coupled pair and N-chain models
+expose one joint session; the per-user models one session per resident
+(frame-wise NCR chains have no transition and reduce to filtering).
 
-``push`` performs the same :class:`~repro.core.chdbn.DecodeStats`
+``push`` performs the same :class:`~repro.core.api.DecodeStats`
 accounting as offline decoding (steps, surviving joint states, evaluated
-transition entries, pruned/capped counts), so streaming overhead reports
-match the Fig 11 metrics.
+transition entries, pruned/capped counts) into its own ``stats`` object —
+one per smoother, so concurrent sessions over a shared model never mix
+their counters — and keeps ``model.last_stats`` pointed at it, so
+streaming overhead reports match the Fig 11 metrics.
 """
 
 from __future__ import annotations
@@ -25,84 +30,84 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.chdbn import CoupledHdbn, _lse
-from repro.datasets.trace import LabeledSequence
-
-_TINY = 1e-12
+from repro.core.api import DecodeStats, Recognizer, TrellisPiece, TrellisSession
+from repro.core.chdbn import _lse
 
 
 @dataclass
 class OnlineSmoother:
-    """Fixed-lag smoother over a fitted :class:`CoupledHdbn`.
+    """Fixed-lag smoother over a fitted recogniser.
 
     Parameters
     ----------
     model:
-        A fitted coupled model (its miners/emissions are reused unchanged).
+        Any fitted :class:`~repro.core.api.Recognizer` (its miners and
+        emission tables are reused unchanged).
     lag:
         Commit latency in steps; 0 gives pure filtering (commit on arrival).
     """
 
-    model: CoupledHdbn
+    model: Recognizer
     lag: int = 4
-    _seq: Optional[LabeledSequence] = field(default=None, init=False, repr=False)
+    #: Per-session work accounting (the streaming analogue of the model's
+    #: ``last_stats`` after an offline decode).
+    stats: DecodeStats = field(default_factory=DecodeStats, init=False)
+    _sessions: Optional[List[TrellisSession]] = field(default=None, init=False, repr=False)
     _rids: Tuple[str, ...] = field(default=(), init=False)
-    _pieces: List[tuple] = field(default_factory=list, init=False, repr=False)
-    _alphas: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    _pieces: List[List[TrellisPiece]] = field(default_factory=list, init=False, repr=False)
+    _alphas: List[List[np.ndarray]] = field(default_factory=list, init=False, repr=False)
+    _pushed: int = field(default=0, init=False)
     _committed: int = field(default=0, init=False)
 
-    def start(self, seq: LabeledSequence) -> None:
+    def start(self, seq) -> None:
         """Begin a session; steps are then consumed with :meth:`push`."""
         if self.lag < 0:
             raise ValueError(f"lag must be >= 0, got {self.lag}")
-        rids = tuple(seq.resident_ids[:2])
-        if len(rids) < 2:
-            raise ValueError("OnlineSmoother expects a resident pair")
-        self._seq = seq
-        self._rids = rids
-        self._pieces = []
-        self._alphas = []
+        sessions = self.model.trellis_sessions(seq)
+        self._sessions = sessions
+        self._rids = tuple(rid for sess in sessions for rid in sess.rids)
+        self._pieces = [[] for _ in sessions]
+        self._alphas = [[] for _ in sessions]
+        self._pushed = 0
         self._committed = 0
-        self.model.last_stats = type(self.model.last_stats)()
+        self.stats = DecodeStats()
+        self.model.last_stats = self.stats
 
     # -- incremental consumption -------------------------------------------------
 
     def push(self, t: int) -> Optional[Dict[str, str]]:
         """Consume step *t*; returns the labels committed for step
         ``t - lag`` (None while the window is still filling)."""
-        if self._seq is None:
+        if self._sessions is None:
             raise RuntimeError("call start() before push()")
-        if t != len(self._pieces):
-            raise ValueError(f"steps must arrive in order; expected {len(self._pieces)}, got {t}")
-        model = self.model
-        seq = self._seq
-        c1 = model._user_candidates(seq, self._rids[0], t)
-        c2 = model._user_candidates(seq, self._rids[1], t)
-        i1, i2, scores = model._joint_candidates(seq, t, c1, c2, self._rids)
-        enc = model._encode(c1, c2, i1, i2)
-        self._pieces.append((c1, c2, i1, i2, scores, enc))
-        # Mirror CoupledHdbn._prepare / decode accounting so streaming
-        # overhead reports are as meaningful as offline ones (pruned /
-        # capped joint states are counted inside _joint_candidates).
-        stats = model.last_stats
-        stats.steps += 1
-        stats.joint_states += len(i1)
-
-        cm = model.constraint_model
-        if t == 0:
-            alpha = (
-                np.log(cm.macro_prior[enc[0]] + _TINY)
-                + model._log_subloc_prior[enc[0], enc[1]]
-                + np.log(cm.macro_prior[enc[2]] + _TINY)
-                + model._log_subloc_prior[enc[2], enc[3]]
-                + scores
+        if t != self._pushed:
+            raise ValueError(
+                f"steps must arrive in order; expected {self._pushed}, got {t}"
             )
-        else:
-            prev_enc = self._pieces[t - 1][5]
-            log_t = model._transition_block(prev_enc, enc)
-            stats.transition_entries += log_t.size
-            alpha = scores + _lse(self._alphas[-1][:, None] + log_t, axis=0)
-        self._alphas.append(alpha)
+        # Mirror the offline _prepare / decode accounting so streaming
+        # overhead reports are as meaningful as offline ones.  The model's
+        # last_stats is re-pinned every push: candidate builders count
+        # pruned/capped joint states through it, and interleaved sessions
+        # over a shared model must each hit their own counters.
+        stats = self.stats
+        self.model.last_stats = stats
+        for k, sess in enumerate(self._sessions):
+            piece = sess.piece(t)
+            self._pieces[k].append(piece)
+            stats.joint_states += len(piece)
+            log_t = None
+            if t > 0:
+                log_t = sess.transition(self._pieces[k][-2], piece)
+            if log_t is None:
+                alpha = sess.initial_alpha(piece)
+            else:
+                stats.transition_entries += log_t.size
+                alpha = piece.scores + _lse(
+                    self._alphas[k][-1][:, None] + log_t, axis=0
+                )
+            self._alphas[k].append(alpha)
+        stats.steps += 1
+        self._pushed = t + 1
 
         commit_t = t - self.lag
         if commit_t < 0:
@@ -113,16 +118,16 @@ class OnlineSmoother:
 
     def flush(self) -> List[Dict[str, str]]:
         """Commit every step still inside the lag window (session end)."""
-        if self._seq is None:
+        if self._sessions is None:
             return []
-        last = len(self._pieces) - 1
+        last = self._pushed - 1
         out = []
-        for t in range(self._committed, len(self._pieces)):
+        for t in range(self._committed, self._pushed):
             out.append(self._smooth_at(t, last))
-        self._committed = len(self._pieces)
+        self._committed = self._pushed
         return out
 
-    def run(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+    def run(self, seq) -> Dict[str, List[str]]:
         """Convenience: stream a whole session, return per-resident labels."""
         self.start(seq)
         per_step: List[Dict[str, str]] = []
@@ -140,22 +145,21 @@ class OnlineSmoother:
     def _smooth_at(self, commit_t: int, horizon: int) -> Dict[str, str]:
         """Argmax smoothed macro per resident for *commit_t* given steps
         up to *horizon*."""
-        model = self.model
-        beta = np.zeros_like(self._alphas[horizon])
-        for t in range(horizon - 1, commit_t - 1, -1):
-            enc = self._pieces[t][5]
-            nxt_scores, nxt_enc = self._pieces[t + 1][4], self._pieces[t + 1][5]
-            log_t = model._transition_block(enc, nxt_enc)
-            beta = _lse(log_t + (nxt_scores + beta)[None, :], axis=1)
-
-        log_gamma = self._alphas[commit_t] + beta
-        log_gamma = log_gamma - _lse(log_gamma, axis=0)
-        gamma = np.exp(log_gamma)
-        enc = self._pieces[commit_t][5]
-        cm = model.constraint_model
         out: Dict[str, str] = {}
-        for rid, m_enc in ((self._rids[0], enc[0]), (self._rids[1], enc[2])):
-            marg = np.zeros(cm.n_macro)
-            np.add.at(marg, m_enc, gamma)
-            out[rid] = cm.macro_index.label(int(np.argmax(marg)))
+        for k, sess in enumerate(self._sessions):
+            pieces = self._pieces[k]
+            beta = np.zeros_like(self._alphas[k][horizon])
+            for t in range(horizon - 1, commit_t - 1, -1):
+                nxt = pieces[t + 1]
+                log_t = sess.transition(pieces[t], nxt)
+                if log_t is None:
+                    # Frame-wise chain: future evidence is independent of
+                    # the committed step.
+                    beta = np.zeros(len(pieces[t]))
+                    continue
+                beta = _lse(log_t + (nxt.scores + beta)[None, :], axis=1)
+
+            log_gamma = self._alphas[k][commit_t] + beta
+            log_gamma = log_gamma - _lse(log_gamma, axis=0)
+            out.update(sess.labels(pieces[commit_t], np.exp(log_gamma)))
         return out

@@ -29,9 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from datetime import datetime, timedelta
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
-
-import numpy as np
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
 from repro.datasets.observation import MicroObservationModel
 from repro.datasets.trace import (

@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.duration import duration_error
 from repro.core.engine import CaceEngine
 from repro.datasets.cace import generate_cace_dataset
-from repro.datasets.casas import CASAS_TASKS, SHARED_TASKS, generate_casas_dataset
+from repro.datasets.casas import SHARED_TASKS, generate_casas_dataset
 from repro.datasets.trace import (
     ContextStep,
     Dataset,

@@ -9,7 +9,7 @@ the forest) and probability estimates from leaf class frequencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

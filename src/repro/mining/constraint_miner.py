@@ -18,12 +18,12 @@ HDBN's conditional probability tables need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.trace import LabeledSequence
-from repro.models.distributions import Cpt, LabelIndex, normalize, shrink_coupled_transitions
+from repro.models.distributions import Cpt, LabelIndex, shrink_coupled_transitions
 
 
 @dataclass

@@ -20,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
-
 from repro.datasets.trace import LabeledSequence
 from repro.mining.apriori import Apriori
 from repro.mining.context_rules import Item, encode_dataset

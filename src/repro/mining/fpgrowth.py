@@ -15,7 +15,7 @@ transactions, then conditional pattern bases are mined recursively.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mining.apriori import FrequentItemsets

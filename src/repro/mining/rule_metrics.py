@@ -18,7 +18,7 @@ rule regardless of which miner produced it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence
 
 from repro.mining.context_rules import Item
 from repro.mining.rules import AssociationRule

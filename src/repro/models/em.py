@@ -10,7 +10,7 @@ polish supervised estimates and in tests demonstrating likelihood ascent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

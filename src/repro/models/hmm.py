@@ -22,13 +22,23 @@ from repro.models.viterbi import forward_backward, viterbi_decode
 
 @dataclass
 class MacroHmm:
-    """Flat HMM over macro activities, one independent chain per resident."""
+    """Flat HMM over macro activities, one independent chain per resident.
+
+    Implements the :class:`~repro.core.api.Recognizer` surface (``decode``,
+    ``posterior_marginals``, ``trellis_sessions``, ``step_filter``,
+    ``last_stats``, ``describe``) so the engine and the serving layer treat
+    the baseline exactly like the HDBN families.  Imports from
+    :mod:`repro.core` stay lazy: this module is imported by the engine, so
+    a top-level import would cycle through ``repro.core.__init__``.
+    """
 
     alpha: float = 0.5
     macro_index: Optional[LabelIndex] = field(default=None, init=False)
     prior_: Optional[np.ndarray] = field(default=None, init=False)
     trans_: Optional[np.ndarray] = field(default=None, init=False)
     emission_: Optional[GaussianEmission] = field(default=None, init=False, repr=False)
+    #: DecodeStats of the most recent decode/posterior call (None before).
+    last_stats: Optional[object] = field(default=None, init=False)
 
     # -- training -------------------------------------------------------------
 
@@ -70,24 +80,93 @@ class MacroHmm:
             out[t] = self.emission_.log_pdf_many(range(n_m), features[t])
         return out
 
-    def predict(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+    def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Viterbi macro labels per resident (chains decoded independently)."""
+        from repro.core.api import DecodeStats  # lazy: avoid an import cycle
+
         if self.macro_index is None:
             raise RuntimeError("model is not fitted")
+        self.last_stats = stats = DecodeStats()
+        n_m = len(self.macro_index)
         out: Dict[str, List[str]] = {}
         for rid in seq.resident_ids:
             log_e = self._log_emissions(seq, rid)
+            stats.joint_states += log_e.size
+            stats.transition_entries += max(log_e.shape[0] - 1, 0) * n_m * n_m
             path, _ = viterbi_decode(np.log(self.prior_), np.log(self.trans_), log_e)
             out[rid] = [self.macro_index.label(i) for i in path]
+        stats.steps = len(seq)
         return out
 
-    def predict_proba(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+    def predict(self, seq: LabeledSequence) -> Dict[str, List[str]]:
+        """Alias of :meth:`decode` (the baseline's historical name)."""
+        return self.decode(seq)
+
+    def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
         """Posterior macro marginals ``(T, M)`` per resident."""
+        from repro.core.api import DecodeStats  # lazy: avoid an import cycle
+
         if self.macro_index is None:
             raise RuntimeError("model is not fitted")
+        self.last_stats = stats = DecodeStats()
         out: Dict[str, np.ndarray] = {}
         for rid in seq.resident_ids:
             log_e = self._log_emissions(seq, rid)
+            stats.joint_states += log_e.size
             gamma, _, _ = forward_backward(np.log(self.prior_), np.log(self.trans_), log_e)
             out[rid] = gamma
+        stats.steps = len(seq)
         return out
+
+    def predict_proba(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
+        """Alias of :meth:`posterior_marginals`."""
+        return self.posterior_marginals(seq)
+
+    # -- Recognizer surface --------------------------------------------------------
+
+    def trellis_sessions(self, seq: LabeledSequence) -> List["_HmmTrellis"]:
+        """One independent session per resident."""
+        if self.macro_index is None:
+            raise RuntimeError("model is not fitted")
+        return [_HmmTrellis(self, seq, rid) for rid in seq.resident_ids]
+
+    def step_filter(self, lag: int = 0):
+        """Fixed-lag smoother bound to this model."""
+        from repro.core.api import make_step_filter  # lazy: avoid a cycle
+
+        return make_step_filter(self, lag)
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLIs."""
+        states = len(self.macro_index) if self.macro_index is not None else "unfitted"
+        return f"flat macro HMM, one chain per resident ({states} states)"
+
+
+class _HmmTrellis:
+    """Incremental-forward adapter over one resident's flat HMM chain."""
+
+    def __init__(self, model: MacroHmm, seq: LabeledSequence, rid: str):
+        self.model = model
+        self.seq = seq
+        self.rids: Tuple[str, ...] = (rid,)
+        self._log_prior = np.log(model.prior_)
+        self._log_trans = np.log(model.trans_)
+
+    def piece(self, t: int):
+        from repro.core.api import TrellisPiece  # lazy: avoid a cycle
+
+        model = self.model
+        n_m = len(model.macro_index)
+        x = np.asarray(
+            self.seq.steps[t].observations[self.rids[0]].features, dtype=float
+        )
+        return TrellisPiece(scores=model.emission_.log_pdf_many(range(n_m), x))
+
+    def initial_alpha(self, piece) -> np.ndarray:
+        return self._log_prior + piece.scores
+
+    def transition(self, prev, cur) -> np.ndarray:
+        return self._log_trans
+
+    def labels(self, piece, gamma: np.ndarray) -> Dict[str, str]:
+        return {self.rids[0]: self.model.macro_index.label(int(np.argmax(gamma)))}

@@ -1,0 +1,11 @@
+"""Serving facade: one loaded model artifact, many live sessions.
+
+:class:`~repro.serve.router.SessionRouter` is the deployment-shaped entry
+point the paper's cloud architecture (Fig 1) implies: fit once, save a
+versioned artifact, then route interleaved context streams from multiple
+homes/sessions through per-session fixed-lag smoothers.
+"""
+
+from repro.serve.router import SessionRouter, SessionState
+
+__all__ = ["SessionRouter", "SessionState"]

@@ -1,0 +1,194 @@
+"""Multi-session serving over one fitted recogniser.
+
+A deployment serves many concurrent streams — several homes, several
+recording sessions — against a single loaded model artifact.  The
+:class:`SessionRouter` owns that model and a bounded LRU table of live
+sessions, each wrapped in its own
+:class:`~repro.core.smoother.OnlineSmoother` (per-session smoothers keep
+per-session :class:`~repro.core.api.DecodeStats`, so interleaved streams
+never mix their counters — the smoother re-pins ``model.last_stats`` on
+every push).
+
+Steps are pushed as plain :class:`~repro.datasets.trace.ContextStep`
+objects; the router appends them to a growing per-session sequence buffer
+the smoother's trellis adapters read from, so arbitrary interleavings of
+``push`` across sessions commit exactly the labels a sequential replay
+would.  When the session table is full the least-recently-used session is
+evicted: its lag window is flushed, its stats merged into the aggregate,
+and its buffered state freed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.api import DecodeStats, Recognizer
+from repro.core.smoother import OnlineSmoother
+from repro.datasets.trace import ContextStep, LabeledSequence
+
+
+@dataclass
+class SessionState:
+    """One live stream: its growing buffer, smoother, and committed labels."""
+
+    seq: LabeledSequence
+    smoother: OnlineSmoother
+    #: Labels committed so far, in step order (one dict per committed step).
+    committed: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def stats(self) -> DecodeStats:
+        """This session's work accounting."""
+        return self.smoother.stats
+
+    @property
+    def pushed(self) -> int:
+        """Number of steps consumed so far."""
+        return len(self.seq)
+
+    def labels(self) -> Dict[str, List[str]]:
+        """Committed labels pivoted per resident."""
+        rids = self.smoother._rids
+        return {rid: [step[rid] for step in self.committed] for rid in rids}
+
+
+class SessionRouter:
+    """Route interleaved context streams through per-session smoothers.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.api.Recognizer`, or a fitted
+        :class:`~repro.core.engine.CaceEngine` (its ``model_`` is used).
+    lag:
+        Fixed-lag smoothing latency for every session (0 = filtering).
+    max_sessions:
+        Upper bound on concurrently open sessions; exceeding it evicts the
+        least-recently-used session (flushing it first).
+    """
+
+    def __init__(
+        self,
+        model: Union[Recognizer, object],
+        lag: int = 4,
+        max_sessions: int = 64,
+    ) -> None:
+        inner = getattr(model, "model_", model)
+        if inner is None:
+            raise ValueError("model is not fitted")
+        if lag < 0:
+            raise ValueError(f"lag must be >= 0, got {lag}")
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.model: Recognizer = inner
+        self.lag = lag
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[str, SessionState]" = OrderedDict()
+        #: Merged DecodeStats of every closed/evicted session.
+        self.aggregate_stats = DecodeStats()
+        #: Sessions evicted to honour ``max_sessions`` (observability).
+        self.evicted = 0
+
+    # -- session lifecycle ---------------------------------------------------------
+
+    def open_session(
+        self,
+        session_id: str,
+        resident_ids: Tuple[str, ...],
+        step_s: float = 15.0,
+    ) -> SessionState:
+        """Explicitly open a session (``push`` auto-opens otherwise)."""
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        seq = LabeledSequence(
+            home_id=session_id,
+            resident_ids=tuple(resident_ids),
+            step_s=step_s,
+            steps=[],
+            truths=[],
+        )
+        smoother = self.model.step_filter(self.lag)
+        smoother.start(seq)
+        state = SessionState(seq=seq, smoother=smoother)
+        self._sessions[session_id] = state
+        self._evict_over_capacity(keep=session_id)
+        return state
+
+    def push(self, session_id: str, step: ContextStep) -> Optional[Dict[str, str]]:
+        """Consume one step for *session_id*; auto-opens on first step.
+
+        Returns the labels committed by this push (the step ``lag`` behind
+        the stream head), or None while the lag window is still filling.
+        """
+        state = self._sessions.get(session_id)
+        if state is None:
+            state = self.open_session(
+                session_id, resident_ids=tuple(sorted(step.observations))
+            )
+        else:
+            self._sessions.move_to_end(session_id)
+        t = len(state.seq.steps)
+        state.seq.steps.append(step)
+        state.seq.truths.append({})
+        labels = state.smoother.push(t)
+        if labels is not None:
+            state.committed.append(labels)
+        return labels
+
+    def close_session(self, session_id: str) -> Dict[str, List[str]]:
+        """Flush the lag window, free the session, return all its labels."""
+        if session_id not in self._sessions:
+            raise KeyError(f"unknown session {session_id!r}")
+        state = self._sessions.pop(session_id)
+        return self._finish(state)
+
+    def close_all(self) -> Dict[str, Dict[str, List[str]]]:
+        """Close every open session; labels keyed by session id."""
+        out = {}
+        while self._sessions:
+            sid, state = self._sessions.popitem(last=False)
+            out[sid] = self._finish(state)
+        return out
+
+    # -- introspection -------------------------------------------------------------
+
+    def session(self, session_id: str) -> SessionState:
+        """The live state of an open session (does not touch LRU order)."""
+        return self._sessions[session_id]
+
+    def session_ids(self) -> List[str]:
+        """Open sessions, least-recently-used first."""
+        return list(self._sessions)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLIs."""
+        return (
+            f"SessionRouter(lag={self.lag}, "
+            f"{len(self._sessions)}/{self.max_sessions} sessions, "
+            f"{self.evicted} evicted): {self.model.describe()}"
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _finish(self, state: SessionState) -> Dict[str, List[str]]:
+        state.committed.extend(state.smoother.flush())
+        self.aggregate_stats.merge(state.stats)
+        return state.labels()
+
+    def _evict_over_capacity(self, keep: str) -> None:
+        while len(self._sessions) > self.max_sessions:
+            sid, state = next(iter(self._sessions.items()))
+            if sid == keep:  # never evict the session we just opened
+                self._sessions.move_to_end(sid)
+                continue
+            del self._sessions[sid]
+            self._finish(state)
+            self.evicted += 1

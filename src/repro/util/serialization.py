@@ -1,21 +1,29 @@
-"""JSON (de)serialisation for mined rules and labelled datasets.
+"""JSON (de)serialisation for mined rules, labelled datasets, and the
+model-artifact building blocks.
 
 Rule sets are the system's distilled behavioural knowledge — the paper's
 Base application even lets users *seed* them from a phone UI — so they
 need a stable on-disk form that survives across sessions and homes.
 Datasets round-trip too, which makes experiment corpora reproducible
-artefacts rather than in-memory accidents.
+artefacts rather than in-memory accidents.  The ndarray / constraint-model
+helpers here are what :mod:`repro.util.artifacts` assembles into versioned
+fitted-model artifacts.
 
 Everything is plain JSON: no pickle, no custom binary, diff-able in code
 review.  Schema versions are embedded so future format changes can be
-detected instead of silently mis-read.
+detected instead of silently mis-read.  Floats survive bit-exactly —
+``json`` emits Python's shortest ``repr`` and reads it back to the same
+IEEE-754 double — which is what makes reloaded models decode
+bit-identically.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
+
+import numpy as np
 
 from repro.datasets.trace import (
     ContextStep,
@@ -24,9 +32,11 @@ from repro.datasets.trace import (
     ResidentObservation,
     ResidentTruth,
 )
+from repro.mining.constraint_miner import ConstraintModel
 from repro.mining.context_rules import Item
 from repro.mining.correlation_miner import CorrelationRuleSet
 from repro.mining.rules import AssociationRule, ExclusionRule
+from repro.models.distributions import LabelIndex
 
 _RULES_SCHEMA = "repro.rules/1"
 _DATASET_SCHEMA = "repro.dataset/1"
@@ -230,3 +240,82 @@ def save_dataset(dataset: Dataset, path: Union[str, Path]) -> None:
 def load_dataset(path: Union[str, Path]) -> Dataset:
     """Read a dataset written by :func:`save_dataset`."""
     return dataset_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# model-artifact building blocks (ndarrays, label indices, constraint models)
+# ---------------------------------------------------------------------------
+
+
+def array_to_obj(arr: Optional[np.ndarray]) -> Optional[Dict]:
+    """Plain-dict form of an ndarray (dtype + shape + flat data)."""
+    if arr is None:
+        return None
+    arr = np.asarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": arr.ravel().tolist(),
+    }
+
+
+def array_from_obj(obj: Optional[Dict]) -> Optional[np.ndarray]:
+    """Inverse of :func:`array_to_obj` (bit-exact for float64/int64)."""
+    if obj is None:
+        return None
+    return np.array(obj["data"], dtype=obj["dtype"]).reshape(obj["shape"])
+
+
+def _label_index_to_obj(index: Optional[LabelIndex]) -> Optional[List[str]]:
+    return list(index.labels) if index is not None else None
+
+
+def _label_index_from_obj(obj: Optional[List[str]]) -> Optional[LabelIndex]:
+    return LabelIndex(tuple(obj)) if obj is not None else None
+
+
+#: ConstraintModel ndarray fields, in declaration order (None-able ones are
+#: the gestural tables, absent on corpora without a neck tag).
+_CONSTRAINT_ARRAY_FIELDS = (
+    "macro_prior",
+    "macro_occupancy",
+    "macro_trans",
+    "macro_trans_coupled",
+    "macro_end_prob",
+    "micro_end_prob",
+    "posture_prior",
+    "gesture_prior",
+    "subloc_prior",
+    "posture_occupancy",
+    "gesture_occupancy",
+    "subloc_occupancy",
+    "posture_trans",
+    "gesture_trans",
+    "subloc_trans",
+)
+
+
+def constraint_model_to_dict(cm: ConstraintModel) -> Dict:
+    """Plain-dict form of a mined constraint model."""
+    out: Dict = {
+        "macro_index": _label_index_to_obj(cm.macro_index),
+        "posture_index": _label_index_to_obj(cm.posture_index),
+        "gesture_index": _label_index_to_obj(cm.gesture_index),
+        "subloc_index": _label_index_to_obj(cm.subloc_index),
+    }
+    for name in _CONSTRAINT_ARRAY_FIELDS:
+        out[name] = array_to_obj(getattr(cm, name))
+    return out
+
+
+def constraint_model_from_dict(data: Dict) -> ConstraintModel:
+    """Inverse of :func:`constraint_model_to_dict`."""
+    kwargs = {
+        "macro_index": _label_index_from_obj(data["macro_index"]),
+        "posture_index": _label_index_from_obj(data["posture_index"]),
+        "gesture_index": _label_index_from_obj(data["gesture_index"]),
+        "subloc_index": _label_index_from_obj(data["subloc_index"]),
+    }
+    for name in _CONSTRAINT_ARRAY_FIELDS:
+        kwargs[name] = array_from_obj(data[name])
+    return ConstraintModel(**kwargs)

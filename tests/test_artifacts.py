@@ -1,0 +1,133 @@
+"""Versioned model artifacts: save/load round-trips and integrity checks.
+
+The contract: a reloaded engine is *bit-identical* to the saved one —
+same predicted labels, same posterior marginals, same DecodeStats work
+accounting — for every model family (NH flat HMM, NCR frame-wise, NCS/C2
+coupled pair, and the >2-resident N-chain).  Artifacts carry a schema
+version and a sha256 fingerprint; both are verified on load.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CaceEngine
+from repro.datasets import generate_cace_dataset, train_test_split
+from repro.util.artifacts import MODEL_SCHEMA, engine_to_dict
+
+STRATEGIES = ("nh", "ncr", "ncs", "c2")
+
+
+def _stats_tuple(stats):
+    return (
+        stats.steps,
+        stats.joint_states,
+        stats.transition_entries,
+        stats.pruned_joint_states,
+        stats.capped_joint_states,
+    )
+
+
+@pytest.fixture(scope="module", params=STRATEGIES)
+def fitted_engine(request, cace_split):
+    train, _ = cace_split
+    return CaceEngine(strategy=request.param, seed=11).fit(train)
+
+
+class TestRoundTrip:
+    def test_labels_and_stats_bit_identical(self, fitted_engine, cace_split, tmp_path):
+        _, test = cace_split
+        seq = test.sequences[0]
+        path = tmp_path / "model.json"
+        before = fitted_engine.predict(seq)
+        before_stats = _stats_tuple(fitted_engine.model_.last_stats)
+
+        fitted_engine.save(path)
+        reloaded = CaceEngine.load(path)
+
+        after = reloaded.predict(seq)
+        assert after == before
+        assert _stats_tuple(reloaded.model_.last_stats) == before_stats
+
+    def test_posterior_marginals_bit_identical(
+        self, fitted_engine, cace_split, tmp_path
+    ):
+        _, test = cace_split
+        seq = test.sequences[0]
+        path = tmp_path / "model.json"
+        fitted_engine.save(path)
+        reloaded = CaceEngine.load(path)
+
+        before = fitted_engine.posterior_marginals(seq)
+        after = reloaded.posterior_marginals(seq)
+        assert set(after) == set(before)
+        for rid in before:
+            assert np.array_equal(before[rid], after[rid])
+
+    def test_engine_config_survives(self, fitted_engine, tmp_path):
+        path = tmp_path / "model.json"
+        fitted_engine.save(path)
+        reloaded = CaceEngine.load(path)
+        assert reloaded.strategy == fitted_engine.strategy
+        assert reloaded.describe() == fitted_engine.describe()
+        assert type(reloaded.model_) is type(fitted_engine.model_)
+
+    def test_nchain_trio_round_trips(self, tmp_path):
+        dataset = generate_cace_dataset(
+            n_homes=1,
+            sessions_per_home=3,
+            duration_s=700.0,
+            residents_per_home=3,
+            seed=42,
+        )
+        train, test = train_test_split(dataset, 0.67, seed=7)
+        engine = CaceEngine(strategy="c2", seed=0).fit(train)
+        assert type(engine.model_).__name__ == "NChainHdbn"
+        seq = test.sequences[0]
+        before = engine.predict(seq)
+
+        path = tmp_path / "trio.json"
+        engine.save(path)
+        reloaded = CaceEngine.load(path)
+        assert reloaded.predict(seq) == before
+
+
+class TestIntegrity:
+    def test_unfitted_engine_refuses_to_save(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            CaceEngine(strategy="c2").save(tmp_path / "nope.json")
+
+    def test_schema_mismatch_rejected(self, fitted_engine, tmp_path):
+        payload = engine_to_dict(fitted_engine)
+        payload["schema"] = "repro.model/999"
+        path = tmp_path / "bad_schema.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            CaceEngine.load(path)
+
+    def test_corrupted_artifact_rejected(self, fitted_engine, tmp_path):
+        payload = engine_to_dict(fitted_engine)
+        payload["engine"]["strategy"] = "tampered"
+        path = tmp_path / "corrupt.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="fingerprint"):
+            CaceEngine.load(path)
+
+    def test_unknown_model_kind_rejected(self, fitted_engine, tmp_path):
+        from repro.util.artifacts import _fingerprint
+
+        payload = engine_to_dict(fitted_engine)
+        payload["model"] = {"kind": "mystery"}
+        payload["fingerprint"] = _fingerprint(payload)
+        path = tmp_path / "unknown.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="kind"):
+            CaceEngine.load(path)
+
+    def test_artifact_is_schema_stamped_json(self, fitted_engine, tmp_path):
+        path = tmp_path / "model.json"
+        fitted_engine.save(path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == MODEL_SCHEMA
+        assert isinstance(data["fingerprint"], str)

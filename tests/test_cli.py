@@ -1,4 +1,4 @@
-"""CLI behaviour: generate / mine / recognize / experiment plumbing."""
+"""CLI behaviour: generate / mine / fit / recognize / experiment plumbing."""
 
 import json
 
@@ -71,6 +71,49 @@ class TestMine:
         assert code == 0
         data = json.loads(out_path.read_text())
         assert data["schema"] == "repro.rules/1"
+
+
+class TestFitAndServe:
+    @pytest.fixture(scope="class")
+    def artifact_path(self, corpus_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.json"
+        code = main(
+            ["fit", str(corpus_path), str(path), "--strategy", "c2", "--seed", "5"]
+        )
+        assert code == 0
+        return path
+
+    def test_fit_writes_versioned_artifact(self, artifact_path):
+        data = json.loads(artifact_path.read_text())
+        assert data["schema"] == "repro.model/1"
+        assert data["engine"]["strategy"] == "c2"
+
+    def test_recognize_serves_saved_artifact(self, corpus_path, artifact_path, capsys):
+        code = main(
+            ["recognize", str(corpus_path), "--model", str(artifact_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Overall" in out
+        assert "offline" in out
+
+    def test_recognize_streams_saved_artifact(self, corpus_path, artifact_path, capsys):
+        code = main(
+            [
+                "recognize", str(corpus_path),
+                "--model", str(artifact_path),
+                "--stream", "--lag", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Overall" in out
+        assert "streamed (lag=3)" in out
+
+    def test_stream_without_model_rejected(self, corpus_path, capsys):
+        code = main(["recognize", str(corpus_path), "--stream"])
+        assert code == 2
+        assert "--stream requires --model" in capsys.readouterr().err
 
 
 class TestRecognize:

@@ -1,6 +1,5 @@
 """FP-Growth: equivalence with Apriori and structural properties."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

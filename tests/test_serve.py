@@ -1,0 +1,139 @@
+"""Serving facade: interleaved sessions, eviction, and stats isolation.
+
+The key invariant: arbitrary interleavings of ``push`` across sessions
+commit exactly the labels a sequential one-session-at-a-time replay
+would, because every session has its own smoother (and the smoother
+re-pins the shared model's ``last_stats`` on every push).
+"""
+
+import pytest
+
+from repro.core.api import DecodeStats
+from repro.core.engine import CaceEngine
+from repro.serve import SessionRouter
+
+
+@pytest.fixture(scope="module")
+def engine(cace_split):
+    train, _ = cace_split
+    return CaceEngine(strategy="c2", seed=11).fit(train)
+
+
+@pytest.fixture(scope="module")
+def test_seqs(cace_split):
+    _, test = cace_split
+    return test.sequences[:2]
+
+
+def _sequential_reference(engine, seqs, lag):
+    out = []
+    for seq in seqs:
+        out.append(engine.step_filter(lag=lag).run(seq))
+    return out
+
+
+class TestInterleaving:
+    def test_interleaved_equals_sequential(self, engine, test_seqs):
+        lag = 3
+        reference = _sequential_reference(engine, test_seqs, lag)
+        router = SessionRouter(engine, lag=lag)
+        horizon = max(len(seq) for seq in test_seqs)
+        for t in range(horizon):
+            for i, seq in enumerate(test_seqs):
+                if t < len(seq):
+                    router.push(f"s{i}", seq.steps[t])
+        labels = router.close_all()
+        for i, expected in enumerate(reference):
+            assert labels[f"s{i}"] == expected
+
+    def test_lag_zero_is_pure_filtering(self, engine, test_seqs):
+        seq = test_seqs[0]
+        router = SessionRouter(engine, lag=0)
+        committed = [router.push("s", step) for step in seq.steps]
+        # With no lag every push commits its own step immediately.
+        assert all(labels is not None for labels in committed)
+        final = router.close_session("s")
+        for rid in seq.resident_ids:
+            assert final[rid] == [labels[rid] for labels in committed]
+
+    def test_stats_isolated_per_session(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=2)
+        for t in range(4):
+            router.push("a", test_seqs[0].steps[t])
+            router.push("b", test_seqs[1].steps[t])
+        a, b = router.session("a").stats, router.session("b").stats
+        assert a is not b
+        assert a.steps == 4 and b.steps == 4
+        solo = engine.step_filter(lag=2)
+        solo.start(test_seqs[0])
+        for t in range(4):
+            solo.push(t)
+        assert (a.joint_states, a.transition_entries) == (
+            solo.stats.joint_states,
+            solo.stats.transition_entries,
+        )
+
+
+class TestLifecycle:
+    def test_eviction_frees_state_and_merges_stats(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=1, max_sessions=1)
+        router.push("old", test_seqs[0].steps[0])
+        router.push("old", test_seqs[0].steps[1])
+        assert router.aggregate_stats == DecodeStats()
+        router.push("new", test_seqs[1].steps[0])
+        assert "old" not in router
+        assert "new" in router
+        assert len(router) == 1
+        assert router.evicted == 1
+        # The evicted session's full accounting landed in the aggregate.
+        assert router.aggregate_stats.steps == 2
+
+    def test_close_session_returns_full_labels(self, engine, test_seqs):
+        seq = test_seqs[0]
+        router = SessionRouter(engine, lag=5)
+        for step in seq.steps[:8]:
+            router.push("s", step)
+        labels = router.close_session("s")
+        for rid in seq.resident_ids:
+            assert len(labels[rid]) == 8
+        assert "s" not in router
+        with pytest.raises(KeyError):
+            router.close_session("s")
+
+    def test_push_auto_opens_with_sorted_residents(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=1)
+        router.push("s", test_seqs[0].steps[0])
+        state = router.session("s")
+        assert state.seq.resident_ids == tuple(
+            sorted(test_seqs[0].steps[0].observations)
+        )
+        assert state.pushed == 1
+
+    def test_invalid_configuration_rejected(self, engine):
+        with pytest.raises(ValueError, match="lag"):
+            SessionRouter(engine, lag=-1)
+        with pytest.raises(ValueError, match="max_sessions"):
+            SessionRouter(engine, max_sessions=0)
+        with pytest.raises(ValueError, match="not fitted"):
+            SessionRouter(CaceEngine(strategy="c2"))
+
+    def test_double_open_rejected(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=1)
+        router.push("s", test_seqs[0].steps[0])
+        with pytest.raises(ValueError, match="already open"):
+            router.open_session("s", resident_ids=("r1", "r2"))
+
+
+class TestWorkerPoolLifecycle:
+    def test_serial_predict_dataset_creates_no_pool(self, engine, cace_split):
+        _, test = cace_split
+        engine.predict_dataset(test, workers=1)
+        assert engine._pool is None
+
+    def test_close_is_idempotent_and_safe_prefit(self):
+        engine = CaceEngine(strategy="c2")
+        engine.close()
+        engine.close()
+        fitted_free = CaceEngine(strategy="c2")
+        with fitted_free:
+            pass  # context-manager exit closes an engine with no pool
