@@ -1,0 +1,44 @@
+"""CI smoke run of the decode hot-path benchmark at a small workload.
+
+Fails loudly on any label mismatch between the optimised kernels and the
+seed reference decoders (the bit-identity contract); the speedup
+assertions are relaxed to >= 1x because shared CI runners make timing
+ratios unreliable.  The full thresholds (5x c2 serial, 3x N-chain, 3x
+smoother) are asserted by ``bench_decode_hotpath.py`` on dedicated
+hardware.
+
+Run with ``PYTHONPATH=src python benchmarks/smoke_decode.py``.
+"""
+
+import sys
+
+from repro.eval.experiments import decode_hotpath_benchmark
+
+
+def main() -> int:
+    result = decode_hotpath_benchmark(
+        n_homes=1,
+        sessions_per_home=3,
+        duration_s=1200.0,
+        seed=7,
+        workers=2,
+        fanout_workers=(2,),
+        nchain_duration_s=900.0,
+    )
+    print(result.render())
+    failures = []
+    if not result.labels_identical:
+        failures.append("c2 labels diverge from the seed reference")
+    if result.nchain is None or not result.nchain.labels_identical:
+        failures.append("nchain labels diverge from the seed reference")
+    if result.smoother is None or not result.smoother.labels_identical:
+        failures.append("smoother labels diverge from the seed reference")
+    if result.speedup < 1.0:
+        failures.append(f"c2 kernels slower than the reference ({result.speedup:.2f}x)")
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

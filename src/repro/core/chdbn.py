@@ -47,6 +47,13 @@ import numpy as np
 
 from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
 from repro.core.emissions import ObjectEvidenceTable, user_state_emissions
+from repro.core.kernels import (
+    SequenceKernel,
+    _lse,
+    backward_betas,
+    forward_alphas,
+    viterbi_path,
+)
 from repro.core.rule_kernel import (
     CompiledRules,
     CrossRulePruner,
@@ -65,14 +72,6 @@ _TINY = 1e-12
 #: Log penalty for hypothesising a sub-location whose room shows no PIR
 #: activity while other rooms do (PIRs miss stationary residents).
 _PIR_MISS_PENALTY = -1.5
-
-
-def _lse(arr: np.ndarray, axis: int) -> np.ndarray:
-    """Numerically stable log-sum-exp along *axis* (shared by the HDBN
-    family's sum-product recursions and the online smoother)."""
-    m = arr.max(axis=axis, keepdims=True)
-    m = np.where(np.isfinite(m), m, 0.0)
-    return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
 
 
 def chain_block(
@@ -159,6 +158,30 @@ class GmmBank:
             c = comps[s:e]
             mx = c.max()
             out[m] = float(mx + np.log(np.exp(c - mx).sum()))
+        return out
+
+    def log_pdf_rows(self, x_rows: np.ndarray, n_macro: int) -> np.ndarray:
+        """(T, n_macro) log densities for a stacked batch of observations.
+
+        One einsum over all steps and components; each row reduces with
+        the same slicing and log-sum-exp order as :meth:`log_pdfs`, so
+        every entry is bit-identical to the per-step result.  Columns of
+        macros without a fitted mixture stay 0.0 (the scalar path adds
+        nothing for them either).
+        """
+        out = np.zeros((x_rows.shape[0], n_macro))
+        if not self._slices:
+            return out
+        d = x_rows.shape[1]
+        diffs = x_rows[:, None, :] - self.means[None, :, :]
+        quads = np.einsum("tki,kij,tkj->tk", diffs, self.inv_covs, diffs)
+        comps = self.log_weights[None, :] - 0.5 * (
+            d * np.log(2 * np.pi) + self.logdets[None, :] + quads
+        )
+        for m, (s, e) in self._slices.items():
+            c = comps[:, s:e]
+            mx = c.max(axis=1)
+            out[:, m] = mx + np.log(np.exp(c - mx[:, None]).sum(axis=1))
         return out
 
 
@@ -279,7 +302,12 @@ def fit_emission_tables(model, train: Dataset) -> None:
 
 
 def build_candidate_set(
-    model, seq: LabeledSequence, rid: str, t: int, prune_per_user: bool = True
+    model,
+    seq: LabeledSequence,
+    rid: str,
+    t: int,
+    prune_per_user: bool = True,
+    kern: Optional[SequenceKernel] = None,
 ) -> CandidateSet:
     """One resident's evidence-truncated candidates for one step.
 
@@ -288,7 +316,9 @@ def build_candidate_set(
     canonicalised to slot u1 by ``CorrelationRuleSet.single_user()``, so
     the same matrix is correct for every resident — slot-invariance is
     regression-tested in ``tests/test_decode_stats.py``), score
-    emissions, and keep the best ``max_states_per_user``.
+    emissions, and keep the best ``max_states_per_user``.  When a
+    :class:`~repro.core.kernels.SequenceKernel` is supplied, rule gates
+    and emission scores come from its precomputed per-sequence tables.
     """
     step = seq.steps[t]
     obs = step.observations[rid]
@@ -297,13 +327,22 @@ def build_candidate_set(
     states, m, l = full_states, full_m, full_l
     idx = np.arange(len(full_states))
     if model._single_pruner is not None and prune_per_user:
-        keep = model._single_pruner.keep(key, full_m, full_l, obs, StepItems(step))
+        if kern is not None:
+            amb = kern.step_items(t)
+            gates = kern.single_gates(rid, t)
+        else:
+            amb = StepItems(step)
+            gates = None
+        keep = model._single_pruner.keep(key, full_m, full_l, obs, amb, gates)
         if keep.any() and not keep.all():
             idx = np.flatnonzero(keep)
             states = [states[i] for i in idx]
             m = m[idx]
             l = l[idx]
-    emissions = user_state_emissions(model, seq, rid, t, states, m, l)
+    if kern is not None:
+        emissions = kern.emissions(rid, t, m, l)
+    else:
+        emissions = user_state_emissions(model, seq, rid, t, states, m, l)
     candidates = CandidateSet(
         states=states, m=m, l=l, emissions=emissions, obs=obs,
         src_key=key, src_idx=idx, src_m=full_m, src_l=full_l,
@@ -327,12 +366,22 @@ class _PairTrellis:
         self.model = model
         self.seq = seq
         self.rids = rids
+        self._kern = model._make_kernel(seq, rids)
+
+    def prepare(self, t0: int, t1: int) -> None:
+        """Batch-build the per-sequence evidence tables for ``[t0, t1)``
+        ahead of the per-step ``piece`` calls (used by bulk pushes)."""
+        if self._kern is not None:
+            self._kern.ensure(t0, t1)
 
     def piece(self, t: int) -> TrellisPiece:
         model, seq, rids = self.model, self.seq, self.rids
-        c1 = model._user_candidates(seq, rids[0], t)
-        c2 = model._user_candidates(seq, rids[1], t)
-        i1, i2, scores = model._joint_candidates(seq, t, c1, c2, rids)
+        kern = self._kern
+        if kern is not None:
+            kern.ensure(0, t + 1)
+        c1 = model._user_candidates(seq, rids[0], t, kern)
+        c2 = model._user_candidates(seq, rids[1], t, kern)
+        i1, i2, scores = model._joint_candidates(seq, t, c1, c2, rids, kern)
         enc = model._encode(c1, c2, i1, i2)
         return TrellisPiece(scores=scores, enc=enc, extra=(c1, c2, i1, i2))
 
@@ -413,6 +462,10 @@ class CoupledHdbn:
     #: correlation, and an extra per-step penalty double-counts it (it cost
     #: 1-5 accuracy points in ablations).  Exposed for experimentation.
     soft_exclusion_penalty: float = 0.0
+    #: Decode through the per-sequence batched evidence tables
+    #: (:class:`repro.core.kernels.SequenceKernel`).  Bit-identical to the
+    #: per-step path; disabled by the reference models.
+    use_sequence_kernels: bool = True
     seed: RandomState = None
     builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
     gmms_: Dict[int, _MacroGmm] = field(default_factory=dict, init=False, repr=False)
@@ -481,9 +534,23 @@ class CoupledHdbn:
 
     # -- per-step machinery ----------------------------------------------------------
 
-    def _user_candidates(self, seq: LabeledSequence, rid: str, t: int) -> CandidateSet:
+    def _make_kernel(
+        self, seq: LabeledSequence, rids: Tuple[str, ...]
+    ) -> Optional[SequenceKernel]:
+        """Per-sequence batched evidence tables (None when disabled)."""
+        if not self.use_sequence_kernels:
+            return None
+        return SequenceKernel(self, seq, rids)
+
+    def _user_candidates(
+        self,
+        seq: LabeledSequence,
+        rid: str,
+        t: int,
+        kern: Optional[SequenceKernel] = None,
+    ) -> CandidateSet:
         """Candidate states with encodings and emissions, evidence-truncated."""
-        return build_candidate_set(self, seq, rid, t, self.prune_per_user)
+        return build_candidate_set(self, seq, rid, t, self.prune_per_user, kern)
 
     def _joint_candidates(
         self,
@@ -492,6 +559,7 @@ class CoupledHdbn:
         c1: CandidateSet,
         c2: CandidateSet,
         rids: Tuple[str, str],
+        kern: Optional[SequenceKernel] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Index pairs (i1, i2) into c1 x c2 after cross-user pruning."""
         step = seq.steps[t]
@@ -499,7 +567,10 @@ class CoupledHdbn:
         pairs = np.indices((n1, n2)).reshape(2, -1).T  # (n1*n2, 2)
         prune_active = self._cross_pruner is not None and self.prune_cross
         if prune_active:
-            keep = self._cross_prune_mask(step, c1, c2)
+            gates = (
+                kern.cross_gates(rids[0], rids[1], t) if kern is not None else None
+            )
+            keep = self._cross_prune_mask(step, c1, c2, gates)
             mask = keep[pairs[:, 0], pairs[:, 1]]
             if mask.any():
                 # Count only pairs actually removed: when every pair fails
@@ -532,12 +603,13 @@ class CoupledHdbn:
         return pairs[:, 0], pairs[:, 1], scores
 
     def _cross_prune_mask(
-        self, step, c1: CandidateSet, c2: CandidateSet
+        self, step, c1: CandidateSet, c2: CandidateSet, gates=None
     ) -> np.ndarray:
         """(|c1|, |c2|) boolean mask of joint states consistent with the
         cross-user rules (precomputed rule matrices + per-step gates; see
-        repro.core.rule_kernel)."""
-        return self._cross_pruner.keep(StepItems(step), c1, c2)
+        repro.core.rule_kernel).  ``gates`` short-circuits the per-step
+        gate evaluation with a precomputed vector."""
+        return self._cross_pruner.keep(StepItems(step), c1, c2, gates)
 
     def _coverage_penalty(
         self,
@@ -628,11 +700,14 @@ class CoupledHdbn:
             raise ValueError("CoupledHdbn expects two residents (use SingleUserHdbn)")
         self.last_stats = DecodeStats()
         stats = self.last_stats
+        kern = self._make_kernel(seq, rids)
+        if kern is not None:
+            kern.ensure(0, len(seq))
         per_step = []
         for t in range(len(seq)):
-            c1 = self._user_candidates(seq, rids[0], t)
-            c2 = self._user_candidates(seq, rids[1], t)
-            i1, i2, scores = self._joint_candidates(seq, t, c1, c2, rids)
+            c1 = self._user_candidates(seq, rids[0], t, kern)
+            c2 = self._user_candidates(seq, rids[1], t, kern)
+            i1, i2, scores = self._joint_candidates(seq, t, c1, c2, rids, kern)
             enc = self._encode(c1, c2, i1, i2)
             per_step.append((c1, c2, i1, i2, scores, enc))
             stats.steps += 1
@@ -643,7 +718,6 @@ class CoupledHdbn:
         """Joint Viterbi macro labels per resident."""
         rids, per_step = self._prepare(seq)
         cm = self.constraint_model
-        stats = self.last_stats
 
         c1, c2, i1, i2, scores, enc = per_step[0]
         log_prior = (
@@ -652,24 +726,12 @@ class CoupledHdbn:
             + np.log(cm.macro_prior[enc[2]] + _TINY)
             + self._log_subloc_prior[enc[2], enc[3]]
         )
-        delta = log_prior + scores
-        backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
+        per_scores = [p[4] for p in per_step]
 
-        for t in range(1, len(per_step)):
-            prev_enc = per_step[t - 1][5]
-            c1, c2, i1, i2, scores, enc = per_step[t]
-            log_t = self._transition_block(prev_enc, enc)
-            stats.transition_entries += log_t.size
-            total = delta[:, None] + log_t
-            back = np.argmax(total, axis=0)
-            delta = total[back, np.arange(total.shape[1])] + scores
-            backs.append(back)
+        def transition(t: int) -> np.ndarray:
+            return self._transition_block(per_step[t - 1][5], per_step[t][5])
 
-        idx = int(np.argmax(delta))
-        path: List[int] = [idx]
-        for t in range(len(per_step) - 1, 0, -1):
-            path.append(int(backs[t][path[-1]]))
-        path.reverse()
+        path = viterbi_path(log_prior + scores, per_scores, transition, self.last_stats)
 
         out1: List[str] = []
         out2: List[str] = []
@@ -685,39 +747,26 @@ class CoupledHdbn:
         cm = self.constraint_model
         n_m = cm.n_macro
 
-        lse = _lse
-
-        # Forward.
-        alphas: List[np.ndarray] = []
         c1, c2, i1, i2, scores, enc = per_step[0]
-        alpha = (
+        initial = (
             np.log(cm.macro_prior[enc[0]] + _TINY)
             + self._log_subloc_prior[enc[0], enc[1]]
             + np.log(cm.macro_prior[enc[2]] + _TINY)
             + self._log_subloc_prior[enc[2], enc[3]]
             + scores
         )
-        alphas.append(alpha)
-        for t in range(1, len(per_step)):
-            prev_enc = per_step[t - 1][5]
-            _, _, _, _, scores, enc = per_step[t]
-            log_t = self._transition_block(prev_enc, enc)
-            alpha = scores + lse(alphas[-1][:, None] + log_t, axis=0)
-            alphas.append(alpha)
+        per_scores = [p[4] for p in per_step]
 
-        # Backward.
-        betas: List[Optional[np.ndarray]] = [None] * len(per_step)
-        betas[-1] = np.zeros_like(alphas[-1])
-        for t in range(len(per_step) - 2, -1, -1):
-            enc = per_step[t][5]
-            nxt_scores, nxt_enc = per_step[t + 1][4], per_step[t + 1][5]
-            log_t = self._transition_block(enc, nxt_enc)
-            betas[t] = lse(log_t + (nxt_scores + betas[t + 1])[None, :], axis=1)
+        def transition(t: int) -> np.ndarray:
+            return self._transition_block(per_step[t - 1][5], per_step[t][5])
+
+        alphas = forward_alphas(initial, per_scores, transition)
+        betas = backward_betas(per_scores, transition)
 
         out = {rids[0]: np.zeros((len(per_step), n_m)), rids[1]: np.zeros((len(per_step), n_m))}
         for t in range(len(per_step)):
             log_gamma = alphas[t] + betas[t]
-            log_gamma -= lse(log_gamma, axis=0)
+            log_gamma -= _lse(log_gamma, axis=0)
             gamma = np.exp(log_gamma)
             enc = per_step[t][5]
             np.add.at(out[rids[0]][t], enc[0], gamma)

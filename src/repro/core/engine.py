@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,17 +36,38 @@ from repro.util.rng import RandomState, ensure_rng
 from repro.util.timer import Stopwatch
 
 
-def _decode_chunk(model: Recognizer, items: Sequence[Tuple[str, LabeledSequence]]):
-    """Worker body for batched decoding: one fitted model, many sessions.
+#: Per-worker-process model installed by :func:`_init_worker` — loaded once
+#: per pool lifetime instead of being pickled into every task submission.
+_WORKER_MODEL: Optional[Recognizer] = None
 
-    Module-level so it pickles for ``ProcessPoolExecutor``; returns
-    ``(key, predictions, DecodeStats)`` triples.
+
+def _init_worker(payload: bytes, codec: str) -> None:
+    """Pool initializer: deserialise the fitted model once per worker.
+
+    ``codec`` is ``"artifact"`` for the JSON model-payload codec (the four
+    first-class families — inspectable, no pickle) or ``"pickle"`` for
+    anything else (e.g. reference subclasses used by the benchmarks).
     """
-    out = []
-    for key, seq in items:
-        pred = model.decode(seq)
-        out.append((key, pred, model.last_stats))
-    return out
+    global _WORKER_MODEL
+    if codec == "artifact":
+        from repro.util.artifacts import model_from_payload  # lazy: cycle
+
+        _WORKER_MODEL = model_from_payload(payload)
+    else:
+        import pickle
+
+        _WORKER_MODEL = pickle.loads(payload)
+
+
+def _decode_session(item: Tuple[str, LabeledSequence]):
+    """Worker body for batched decoding: one session against the
+    worker-resident model.  Returns a ``(key, predictions, DecodeStats)``
+    triple; submitting sessions one at a time gives dynamic scheduling
+    (fast workers pick up the next session instead of idling behind a
+    pre-assigned chunk)."""
+    key, seq = item
+    pred = _WORKER_MODEL.decode(seq)
+    return key, pred, _WORKER_MODEL.last_stats
 
 
 @dataclass
@@ -77,10 +98,17 @@ class CaceEngine:
     #: Aggregate DecodeStats of the last predict_dataset call.
     batch_stats_: Optional[DecodeStats] = field(default=None, init=False)
     _rng: np.random.Generator = field(init=False, repr=False)
+    #: Times the fitted model was serialised for worker shipping (once per
+    #: pool lifetime — observability for the zero-copy contract).
+    model_ship_count_: int = field(default=0, init=False)
     #: Lazily created worker pool, reused across predict_dataset calls so
     #: steady-state batched decoding doesn't pay process spawn per batch.
     _pool: object = field(default=None, init=False, repr=False)
     _pool_workers: int = field(default=0, init=False, repr=False)
+    #: Strong reference to the model the live pool was initialised with; a
+    #: refit swaps ``model_`` and forces a pool rebuild.  (Identity of a
+    #: held reference, not ``id()`` of a dead one — ids get reused.)
+    _pool_model_ref: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._strategy = PruningStrategy(self.strategy)
@@ -190,27 +218,54 @@ class CaceEngine:
             return out
 
         workers = min(workers, len(items))
-        chunks: List[List[Tuple[str, LabeledSequence]]] = [
-            items[w::workers] for w in range(workers)
-        ]
         pool = self._worker_pool(workers)
         with self.stopwatch.phase("decode"):
-            for results in pool.map(_decode_chunk, [self.model_] * workers, chunks):
-                for key, pred, stats in results:
-                    out[key] = pred
-                    if stats is not None:
-                        self.batch_stats_.merge(stats)
+            # One future per session: dynamic scheduling across workers
+            # (results are collected in submission order for determinism).
+            futures = [pool.submit(_decode_session, item) for item in items]
+            for future in futures:
+                key, pred, stats = future.result()
+                out[key] = pred
+                if stats is not None:
+                    self.batch_stats_.merge(stats)
         return out
 
     def _worker_pool(self, workers: int):
-        """The persistent process pool, (re)built when the size changes."""
+        """The persistent process pool, (re)built when the size or the
+        fitted model changes.  The model ships to the workers exactly once
+        per pool lifetime, through the pool initializer — task submissions
+        carry only ``(key, sequence)`` items."""
         from concurrent.futures import ProcessPoolExecutor
 
-        if self._pool is None or self._pool_workers != workers:
+        if (
+            self._pool is None
+            or self._pool_workers != workers
+            or self._pool_model_ref is not self.model_
+        ):
             self.close()
-            self._pool = ProcessPoolExecutor(max_workers=workers)
+            payload, codec = self._model_payload()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(payload, codec),
+            )
             self._pool_workers = workers
+            self._pool_model_ref = self.model_
         return self._pool
+
+    def _model_payload(self) -> Tuple[bytes, str]:
+        """Serialise ``model_`` once for worker shipping."""
+        from repro.util.artifacts import (  # lazy: avoid an import cycle
+            model_to_payload,
+            payload_supported,
+        )
+
+        self.model_ship_count_ += 1
+        if payload_supported(self.model_):
+            return model_to_payload(self.model_), "artifact"
+        import pickle
+
+        return pickle.dumps(self.model_), "pickle"
 
     def close(self) -> None:
         """Shut down the batched-decoding worker pool, if any.
@@ -224,6 +279,7 @@ class CaceEngine:
             pool.shutdown(wait=False)
         self._pool = None
         self._pool_workers = 0
+        self._pool_model_ref = None
 
     def __enter__(self) -> "CaceEngine":
         return self
@@ -244,6 +300,7 @@ class CaceEngine:
         state = dict(self.__dict__)
         state["_pool"] = None
         state["_pool_workers"] = 0
+        state["_pool_model_ref"] = None
         return state
 
     def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:

@@ -15,6 +15,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
+from repro.core.kernels import (
+    SequenceKernel,
+    _lse,
+    backward_betas,
+    forward_alphas,
+    viterbi_path,
+)
 from repro.core.rule_kernel import CompiledRules, SingleRulePruner
 from repro.core.state_space import StateSpaceBuilder
 from repro.datasets.trace import Dataset, LabeledSequence
@@ -40,6 +47,9 @@ class SingleUserHdbn:
     #: NCR runs frame-wise (the paper's two-fold rule-prune-then-classify
     #: approach has no temporal chaining); set True for a true 1-chain HDBN.
     temporal: bool = True
+    #: Decode through the per-sequence batched evidence tables
+    #: (:class:`repro.core.kernels.SequenceKernel`); bit-identical.
+    use_sequence_kernels: bool = True
     seed: RandomState = None
     builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
     gmms_: Dict[int, object] = field(default_factory=dict, init=False, repr=False)
@@ -107,7 +117,17 @@ class SingleUserHdbn:
         reset = self._log_subloc_prior[m_cur, l_cur][None, :]
         return macro_term + np.where(same, cont, reset)
 
-    def _per_step(self, seq: LabeledSequence, rid: str):
+    def _make_kernel(
+        self, seq: LabeledSequence, rids: Tuple[str, ...]
+    ) -> Optional[SequenceKernel]:
+        """Per-sequence batched evidence tables (None when disabled)."""
+        if not self.use_sequence_kernels:
+            return None
+        return SequenceKernel(self, seq, rids)
+
+    def _per_step(
+        self, seq: LabeledSequence, rid: str, kern: Optional[SequenceKernel] = None
+    ):
         """Truncated per-step candidate tuples ``(states, e, m, l)``.
 
         Accounts surviving candidates into ``last_stats.joint_states``
@@ -117,15 +137,21 @@ class SingleUserHdbn:
 
         per_step = []
         for t in range(len(seq)):
-            c = build_candidate_set(self, seq, rid, t)
+            c = build_candidate_set(self, seq, rid, t, kern=kern)
             self.last_stats.joint_states += len(c)
             per_step.append((c.states, c.emissions, c.m, c.l))
         return per_step
 
-    def decode_user(self, seq: LabeledSequence, rid: str) -> List[str]:
+    def decode_user(
+        self, seq: LabeledSequence, rid: str, kern: Optional[SequenceKernel] = None
+    ) -> List[str]:
         """Macro labels for one resident's chain (Viterbi or frame-wise)."""
         cm = self.constraint_model
-        per_step = self._per_step(seq, rid)
+        if kern is None:
+            kern = self._make_kernel(seq, (rid,))
+            if kern is not None:
+                kern.ensure(0, len(seq))
+        per_step = self._per_step(seq, rid, kern)
 
         if not self.temporal:
             # NCR: rule-pruned frame-wise MAP, no temporal model.  The class
@@ -138,29 +164,23 @@ class SingleUserHdbn:
             return out
 
         states, e, m, l = per_step[0]
-        delta = np.log(cm.macro_prior[m] + _TINY) + self._log_subloc_prior[m, l] + e
-        backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
-        for t in range(1, len(per_step)):
-            _, e, m, l = per_step[t]
-            pm, pl = per_step[t - 1][2], per_step[t - 1][3]
-            log_t = self._chain_block(pm, pl, m, l)
-            self.last_stats.transition_entries += log_t.size
-            total = delta[:, None] + log_t
-            back = np.argmax(total, axis=0)
-            delta = total[back, np.arange(total.shape[1])] + e
-            backs.append(back)
+        initial = np.log(cm.macro_prior[m] + _TINY) + self._log_subloc_prior[m, l] + e
+        per_scores = [p[1] for p in per_step]
 
-        idx = int(np.argmax(delta))
-        path = [idx]
-        for t in range(len(per_step) - 1, 0, -1):
-            path.append(int(backs[t][path[-1]]))
-        path.reverse()
+        def transition(t: int) -> np.ndarray:
+            pm, pl = per_step[t - 1][2], per_step[t - 1][3]
+            return self._chain_block(pm, pl, per_step[t][2], per_step[t][3])
+
+        path = viterbi_path(initial, per_scores, transition, self.last_stats)
         return [per_step[t][0][j].macro for t, j in enumerate(path)]
 
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Decode every resident independently (no coupling)."""
         self.last_stats = DecodeStats()
-        out = {rid: self.decode_user(seq, rid) for rid in seq.resident_ids}
+        kern = self._make_kernel(seq, tuple(seq.resident_ids))
+        if kern is not None:
+            kern.ensure(0, len(seq))
+        out = {rid: self.decode_user(seq, rid, kern) for rid in seq.resident_ids}
         # One trellis step per time step, however many chains it spans
         # (matching the coupled models' accounting).
         self.last_stats.steps = len(seq)
@@ -184,7 +204,9 @@ class SingleUserHdbn:
 
     # -- marginals (ROC/PRC scores for the NH/NCR comparisons) --------------------
 
-    def _user_marginals(self, seq: LabeledSequence, rid: str) -> np.ndarray:
+    def _user_marginals(
+        self, seq: LabeledSequence, rid: str, kern: Optional[SequenceKernel] = None
+    ) -> np.ndarray:
         """(T, M) posterior macro marginals for one resident's chain.
 
         ``temporal=False`` (the NCR strategy) yields frame-wise posteriors
@@ -193,38 +215,30 @@ class SingleUserHdbn:
         """
         cm = self.constraint_model
         n_m = cm.n_macro
-        per_step = self._per_step(seq, rid)
-
-        from repro.core.chdbn import _lse as lse  # avoid a cycle
+        per_step = self._per_step(seq, rid, kern)
 
         out = np.zeros((len(per_step), n_m))
         if not self.temporal:
             for t, (_, e, m, _) in enumerate(per_step):
                 log_gamma = e + np.log(cm.macro_occupancy[m] + _TINY)
-                log_gamma -= lse(log_gamma, axis=0)
+                log_gamma -= _lse(log_gamma, axis=0)
                 np.add.at(out[t], m, np.exp(log_gamma))
             return out
 
-        alphas: List[np.ndarray] = []
         _, e, m, l = per_step[0]
-        alphas.append(np.log(cm.macro_prior[m] + _TINY) + self._log_subloc_prior[m, l] + e)
-        for t in range(1, len(per_step)):
-            _, e, m, l = per_step[t]
-            _, _, pm, pl = per_step[t - 1]
-            log_t = self._chain_block(pm, pl, m, l)
-            alphas.append(e + lse(alphas[-1][:, None] + log_t, axis=0))
+        initial = np.log(cm.macro_prior[m] + _TINY) + self._log_subloc_prior[m, l] + e
+        per_scores = [p[1] for p in per_step]
 
-        betas: List[Optional[np.ndarray]] = [None] * len(per_step)
-        betas[-1] = np.zeros_like(alphas[-1])
-        for t in range(len(per_step) - 2, -1, -1):
-            _, _, m, l = per_step[t]
-            _, nxt_e, nm, nl = per_step[t + 1]
-            log_t = self._chain_block(m, l, nm, nl)
-            betas[t] = lse(log_t + (nxt_e + betas[t + 1])[None, :], axis=1)
+        def transition(t: int) -> np.ndarray:
+            _, _, pm, pl = per_step[t - 1]
+            return self._chain_block(pm, pl, per_step[t][2], per_step[t][3])
+
+        alphas = forward_alphas(initial, per_scores, transition)
+        betas = backward_betas(per_scores, transition)
 
         for t in range(len(per_step)):
             log_gamma = alphas[t] + betas[t]
-            log_gamma -= lse(log_gamma, axis=0)
+            log_gamma -= _lse(log_gamma, axis=0)
             _, _, m, _ = per_step[t]
             np.add.at(out[t], m, np.exp(log_gamma))
         return out
@@ -232,7 +246,10 @@ class SingleUserHdbn:
     def posterior_marginals(self, seq: LabeledSequence) -> Dict[str, np.ndarray]:
         """Per-resident posterior macro marginals ``(T, M)``."""
         self.last_stats = DecodeStats()
-        out = {rid: self._user_marginals(seq, rid) for rid in seq.resident_ids}
+        kern = self._make_kernel(seq, tuple(seq.resident_ids))
+        if kern is not None:
+            kern.ensure(0, len(seq))
+        out = {rid: self._user_marginals(seq, rid, kern) for rid in seq.resident_ids}
         self.last_stats.steps = len(seq)
         return out
 
@@ -249,12 +266,21 @@ class _UserTrellis:
         self.model = model
         self.seq = seq
         self.rids: Tuple[str, ...] = (rid,)
+        self._kern = model._make_kernel(seq, self.rids)
+
+    def prepare(self, t0: int, t1: int) -> None:
+        """Batch-build the per-sequence evidence tables for ``[t0, t1)``
+        ahead of the per-step ``piece`` calls (used by bulk pushes)."""
+        if self._kern is not None:
+            self._kern.ensure(t0, t1)
 
     def piece(self, t: int) -> TrellisPiece:
         from repro.core.chdbn import build_candidate_set  # avoid a cycle
 
         model = self.model
-        c = build_candidate_set(model, self.seq, self.rids[0], t)
+        if self._kern is not None:
+            self._kern.ensure(0, t + 1)
+        c = build_candidate_set(model, self.seq, self.rids[0], t, kern=self._kern)
         scores = c.emissions
         if not model.temporal:
             cm = model.constraint_model

@@ -1,0 +1,366 @@
+"""Sequence-level decode kernels shared by the HDBN recogniser family.
+
+Two layers live here:
+
+* **Trellis recursions** — :func:`viterbi_path`, :func:`forward_alphas`
+  and :func:`backward_betas` are the broadcast max-plus / sum-product
+  updates over encoded candidate lists.  All four ``Recognizer`` families
+  and the ``TrellisSession`` adapters run the same update ops (the loops
+  previously copy-pasted across ``chdbn``/``hdbn``/``loosely_coupled``),
+  so Viterbi paths and marginals are bit-identical to the per-family
+  implementations they replace.
+* **:class:`SequenceKernel`** — per-sequence batched evidence.  A
+  session's feature rows are stacked into a ``(T, d)`` matrix and scored
+  against the stacked GMM bank with one einsum, posture/gesture CPT
+  columns are gathered for all steps at once, object-evidence deltas and
+  soft-location rows become ``(T, M)`` / ``(T, L)`` tables, and the
+  correlation-rule scalar gates are evaluated once per step per resident.
+  The per-step trellis machinery then only *indexes* precomputed rows.
+
+Bit-identity contract: every row is assembled with the same elementary
+float operations, in the same association order, as the per-step path in
+:func:`repro.core.emissions.user_state_emissions` — batching an
+elementwise op over rows does not change any individual result, and the
+einsum contractions used here are the batched forms of the exact
+contractions the scalar path dispatches.  Equivalence against
+:mod:`repro.core.reference` is asserted per strategy in
+``tests/test_kernels.py`` and ``benchmarks/bench_decode_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import DecodeStats
+from repro.core.emissions import object_log_evidence
+from repro.core.rule_kernel import StepItems
+from repro.core.state_space import _ROOM_OF
+from repro.datasets.trace import LabeledSequence
+from repro.home.layout import SUB_REGIONS
+from repro.models.chmm import LOCATION_KERNEL_SIGMA_M
+
+_MEMO_LIMIT = 8192
+
+
+def _lse(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Numerically stable log-sum-exp along *axis* (shared by the HDBN
+    family's sum-product recursions and the online smoother)."""
+    m = arr.max(axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    return np.squeeze(m, axis=axis) + np.log(np.exp(arr - m).sum(axis=axis))
+
+
+def viterbi_path(
+    initial: np.ndarray,
+    per_scores: Sequence[np.ndarray],
+    transition: Callable[[int], np.ndarray],
+    stats: Optional[DecodeStats] = None,
+) -> List[int]:
+    """Max-plus forward pass + backtrace over a ragged candidate trellis.
+
+    ``initial`` is the step-0 delta (prior + scores, already combined by
+    the caller); ``per_scores[t]`` the per-candidate evidence at step t;
+    ``transition(t)`` the (P, C) log transition block between steps t-1
+    and t.  Returns the argmax index path (one index per step).
+    """
+    delta = initial
+    backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
+    for t in range(1, len(per_scores)):
+        log_t = transition(t)
+        if stats is not None:
+            stats.transition_entries += log_t.size
+        total = delta[:, None] + log_t
+        back = np.argmax(total, axis=0)
+        delta = total[back, np.arange(total.shape[1])] + per_scores[t]
+        backs.append(back)
+
+    idx = int(np.argmax(delta))
+    path: List[int] = [idx]
+    for t in range(len(per_scores) - 1, 0, -1):
+        path.append(int(backs[t][path[-1]]))
+    path.reverse()
+    return path
+
+
+def forward_alphas(
+    initial: np.ndarray,
+    per_scores: Sequence[np.ndarray],
+    transition: Callable[[int], np.ndarray],
+) -> List[np.ndarray]:
+    """Sum-product forward recursion over a ragged candidate trellis."""
+    alphas: List[np.ndarray] = [initial]
+    for t in range(1, len(per_scores)):
+        log_t = transition(t)
+        alphas.append(per_scores[t] + _lse(alphas[-1][:, None] + log_t, axis=0))
+    return alphas
+
+
+def backward_betas(
+    per_scores: Sequence[np.ndarray],
+    transition: Callable[[int], np.ndarray],
+) -> List[np.ndarray]:
+    """Sum-product backward recursion (``transition(t)`` is the block
+    between steps t-1 and t, matching :func:`forward_alphas`)."""
+    n = len(per_scores)
+    betas: List[Optional[np.ndarray]] = [None] * n
+    betas[-1] = np.zeros(per_scores[-1].shape[0])
+    for t in range(n - 2, -1, -1):
+        log_t = transition(t + 1)
+        betas[t] = _lse(log_t + (per_scores[t + 1] + betas[t + 1])[None, :], axis=1)
+    return betas
+
+
+class SequenceKernel:
+    """Batched per-sequence evidence tables for the HDBN hot path.
+
+    Built lazily and incrementally: :meth:`ensure` extends the tables to
+    cover a step range, so offline decoding batches the whole sequence in
+    one shot while the fixed-lag smoother grows the same tables as steps
+    stream in (batch size never changes any value — every step's row is
+    independent of its neighbours).
+    """
+
+    def __init__(self, model, seq: LabeledSequence, rids: Sequence[str]) -> None:
+        self.model = model
+        self.seq = seq
+        self.rids = tuple(rids)
+        cm = model.constraint_model
+        self._n_macro = cm.n_macro
+        self._n_loc = len(cm.subloc_index)
+        # Sub-region centres resolved once per kernel (the per-step path
+        # rebuilds this mapping on every call).
+        idx: List[int] = []
+        cx: List[float] = []
+        cy: List[float] = []
+        for sr in SUB_REGIONS:
+            if sr.sr_id in cm.subloc_index:
+                idx.append(cm.subloc_index.index(sr.sr_id))
+                cx.append(sr.center[0])
+                cy.append(sr.center[1])
+        self._center_idx = np.array(idx, dtype=int)
+        self._center_x = np.array(cx)
+        self._center_y = np.array(cy)
+        room_of_l = getattr(getattr(model, "builder", None), "room_of_l", None)
+        if room_of_l is None:
+            room_of_l = np.array(
+                [_ROOM_OF.get(lbl, "unknown") for lbl in cm.subloc_index.labels],
+                dtype=object,
+            )
+        self._room_of_l = room_of_l
+        self._built = 0
+        self._step_items: List[StepItems] = []
+        self._pir_masks: List[Optional[np.ndarray]] = []
+        self._pir_memo: Dict[frozenset, np.ndarray] = {}
+        self._cand_loc_memo: Dict[Tuple[str, ...], np.ndarray] = {}
+        self._macro_rows: Dict[str, List[np.ndarray]] = {r: [] for r in self.rids}
+        self._loc_rows: Dict[str, List[np.ndarray]] = {r: [] for r in self.rids}
+        self._single_gates: Dict[str, List[Optional[np.ndarray]]] = {
+            r: [] for r in self.rids
+        }
+        self._cross_gates: Dict[Tuple[str, str], Dict[int, np.ndarray]] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def ensure(self, t0: int, t1: int) -> None:
+        """Extend the precomputed tables to cover steps ``[0, t1)``.
+
+        Idempotent; already-built steps are never recomputed.  ``t0`` is
+        advisory (tables are contiguous from 0).
+        """
+        t1 = min(t1, len(self.seq.steps))
+        start = self._built
+        if t1 <= start:
+            return
+        steps = self.seq.steps[start:t1]
+        single = getattr(self.model, "_single_pruner", None)
+
+        for step in steps:
+            self._step_items.append(StepItems(step))
+            self._pir_masks.append(self._pir_mask(step.rooms_fired))
+
+        for rid in self.rids:
+            obs_list = [step.observations[rid] for step in steps]
+            self._loc_rows[rid].extend(self._build_loc_rows(obs_list))
+            self._macro_rows[rid].extend(self._build_macro_rows(steps, obs_list))
+            gates = self._single_gates[rid]
+            if single is None:
+                gates.extend([None] * len(steps))
+            else:
+                for amb, obs in zip(self._step_items[start:t1], obs_list):
+                    gates.append(single._gates(amb, obs))
+        self._built = t1
+
+    def _pir_mask(self, rooms_fired) -> Optional[np.ndarray]:
+        """(L,) bool "sub-location's room fired" — None when no PIRs fired."""
+        if not rooms_fired:
+            return None
+        mask = self._pir_memo.get(rooms_fired)
+        if mask is None:
+            mask = np.array([r in rooms_fired for r in self._room_of_l], dtype=bool)
+            if len(self._pir_memo) >= _MEMO_LIMIT:
+                self._pir_memo.clear()
+            self._pir_memo[rooms_fired] = mask
+        return mask
+
+    def _candidate_loc_row(self, candidates: Tuple[str, ...]) -> np.ndarray:
+        """Soft-location row when no position estimate exists (memoised;
+        rows are shared read-only across steps with equal candidates)."""
+        row = self._cand_loc_memo.get(candidates)
+        if row is None:
+            subloc_index = self.model.constraint_model.subloc_index
+            row = np.full(self._n_loc, -12.0)
+            for sr_id in candidates:
+                if sr_id in subloc_index:
+                    row[subloc_index.index(sr_id)] = 0.0
+            if len(self._cand_loc_memo) >= _MEMO_LIMIT:
+                self._cand_loc_memo.clear()
+            self._cand_loc_memo[candidates] = row
+        return row
+
+    def _build_loc_rows(self, obs_list) -> List[np.ndarray]:
+        """(L,) soft-location log-evidence row per step, batched over the
+        steps that carry a position estimate (the squared-distance kernel
+        is elementwise, so batching leaves every entry bit-identical to
+        :func:`repro.models.chmm.soft_location_log_evidence`)."""
+        rows: List[Optional[np.ndarray]] = [None] * len(obs_list)
+        est = [i for i, obs in enumerate(obs_list) if obs.position_estimate is not None]
+        if est and self._center_idx.size:
+            ex = np.array([obs_list[i].position_estimate[0] for i in est], dtype=float)
+            ey = np.array([obs_list[i].position_estimate[1] for i in est], dtype=float)
+            block = np.full((len(est), self._n_loc), -12.0)
+            block[:, self._center_idx] = -(
+                (ex[:, None] - self._center_x[None, :]) ** 2
+                + (ey[:, None] - self._center_y[None, :]) ** 2
+            ) / (2 * LOCATION_KERNEL_SIGMA_M**2)
+            for k, i in enumerate(est):
+                rows[i] = block[k]
+        elif est:
+            shared = np.full(self._n_loc, -12.0)
+            for i in est:
+                rows[i] = shared
+        for i, obs in enumerate(obs_list):
+            if rows[i] is None:
+                rows[i] = self._candidate_loc_row(obs.subloc_candidates)
+        return rows
+
+    def _build_macro_rows(self, steps, obs_list) -> List[np.ndarray]:
+        """(M,) per-macro evidence row per step: posture and gesture CPT
+        columns gathered for all steps at once, the feature channel scored
+        through the stacked GMM bank with one einsum, and the object
+        channel from the precomputed baseline+delta table.  Term order
+        (posture, gesture, features, objects) matches the scalar path."""
+        model = self.model
+        cm = model.constraint_model
+        rows = np.zeros((len(steps), self._n_macro))
+
+        p_cols = np.array(
+            [
+                cm.posture_index.index(obs.posture)
+                if (obs.posture is not None and obs.posture in cm.posture_index)
+                else -1
+                for obs in obs_list
+            ],
+            dtype=int,
+        )
+        has_p = p_cols >= 0
+        if has_p.any():
+            rows[has_p] += model._log_posture[:, p_cols[has_p]].T
+
+        if model._log_gesture is not None and cm.gesture_index is not None:
+            g_cols = np.array(
+                [
+                    cm.gesture_index.index(obs.gesture)
+                    if (obs.gesture is not None and obs.gesture in cm.gesture_index)
+                    else -1
+                    for obs in obs_list
+                ],
+                dtype=int,
+            )
+            has_g = g_cols >= 0
+            if has_g.any():
+                rows[has_g] += model._log_gesture[:, g_cols[has_g]].T
+
+        if model.use_feature_gmm:
+            feats = [np.asarray(obs.features, dtype=float) for obs in obs_list]
+            ok = np.array(
+                [x.size > 0 and not np.isnan(x).any() for x in feats], dtype=bool
+            )
+            if ok.any():
+                self._add_gmm_rows(rows, feats, np.flatnonzero(ok))
+
+        obj_table = getattr(model, "_obj_evidence", None)
+        if obj_table is not None:
+            for i, step in enumerate(steps):
+                rows[i] += obj_table.macro_vector(step.objects_fired)
+        else:
+            object_index = getattr(model, "_object_index", {})
+            log_obj = getattr(model, "_log_obj", np.zeros((0, 0, 2)))
+            for i, step in enumerate(steps):
+                for mi in range(self._n_macro):
+                    rows[i, mi] += object_log_evidence(
+                        object_index, log_obj, mi, step.objects_fired
+                    )
+        return list(rows)
+
+    def _add_gmm_rows(self, rows: np.ndarray, feats, idx: np.ndarray) -> None:
+        model = self.model
+        bank = getattr(model, "_gmm_bank", None)
+        if bank is not None:
+            if not bank._slices:
+                return
+            if len({feats[i].shape[0] for i in idx}) == 1:
+                x_mat = np.stack([feats[i] for i in idx])
+                rows[idx] += bank.log_pdf_rows(x_mat, self._n_macro)
+                return
+            # Ragged feature dims: fall back to per-step bank evaluation.
+            for i in idx:
+                for mi, lp in bank.log_pdfs(feats[i]).items():
+                    rows[i, mi] += lp
+            return
+        gmms = getattr(model, "gmms_", None) or {}
+        for i in idx:
+            for mi, gmm in gmms.items():
+                rows[i, int(mi)] += gmm.log_pdf(feats[i])
+
+    # -- lookups ------------------------------------------------------------------
+
+    def emissions(self, rid: str, t: int, m: np.ndarray, l: np.ndarray) -> np.ndarray:
+        """Candidate emission scores by indexing the precomputed rows
+        (bit-identical to :func:`~repro.core.emissions.user_state_emissions`)."""
+        model = self.model
+        out = (
+            self._macro_rows[rid][t][m]
+            + self._loc_rows[rid][t][l]
+            + model._log_subloc_occ[m, l]
+        )
+        mask = self._pir_masks[t]
+        if mask is not None:
+            out[~mask[l]] += model.pir_miss_penalty
+        return out
+
+    def step_items(self, t: int) -> StepItems:
+        """The step's precomputed ambient item sets."""
+        return self._step_items[t]
+
+    def single_gates(self, rid: str, t: int) -> Optional[np.ndarray]:
+        """Single-user rule gate vector for (rid, t), or None if unruled."""
+        return self._single_gates[rid][t]
+
+    def cross_gates(self, rid_a: str, rid_b: str, t: int) -> Optional[np.ndarray]:
+        """Cross-user rule gate vector for the ordered pair at step t."""
+        pruner = getattr(self.model, "_cross_pruner", None)
+        if pruner is None:
+            return None
+        per_pair = self._cross_gates.setdefault((rid_a, rid_b), {})
+        gates = per_pair.get(t)
+        if gates is None:
+            step = self.seq.steps[t]
+            gates = pruner._gates(
+                self._step_items[t],
+                step.observations[rid_a],
+                step.observations[rid_b],
+            )
+            per_pair[t] = gates
+        return gates

@@ -30,11 +30,17 @@ import numpy as np
 
 from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
 from repro.core.chdbn import (
-    _lse,
     build_candidate_set,
     build_transition_tables,
     chain_block,
     fit_emission_tables,
+)
+from repro.core.kernels import (
+    SequenceKernel,
+    _lse,
+    backward_betas,
+    forward_alphas,
+    viterbi_path,
 )
 from repro.core.rule_kernel import (
     CompiledRules,
@@ -73,6 +79,9 @@ class NChainHdbn:
     unexplained_subloc_penalty: float = -4.5
     unexplained_room_penalty: float = -2.5
     soft_exclusion_penalty: float = 0.0
+    #: Decode through the per-sequence batched evidence tables
+    #: (:class:`repro.core.kernels.SequenceKernel`); bit-identical.
+    use_sequence_kernels: bool = True
     seed: RandomState = None
     builder: StateSpaceBuilder = field(default=None, init=False, repr=False)
     gmms_: Dict[int, object] = field(default_factory=dict, init=False, repr=False)
@@ -130,8 +139,22 @@ class NChainHdbn:
 
     # -- per-step machinery ----------------------------------------------------------
 
-    def _user_candidates(self, seq: LabeledSequence, rid: str, t: int) -> CandidateSet:
-        return build_candidate_set(self, seq, rid, t)
+    def _make_kernel(
+        self, seq: LabeledSequence, rids: Tuple[str, ...]
+    ) -> Optional[SequenceKernel]:
+        """Per-sequence batched evidence tables (None when disabled)."""
+        if not self.use_sequence_kernels:
+            return None
+        return SequenceKernel(self, seq, rids)
+
+    def _user_candidates(
+        self,
+        seq: LabeledSequence,
+        rid: str,
+        t: int,
+        kern: Optional[SequenceKernel] = None,
+    ) -> CandidateSet:
+        return build_candidate_set(self, seq, rid, t, kern=kern)
 
     def _joint_candidates(
         self,
@@ -139,6 +162,7 @@ class NChainHdbn:
         t: int,
         per_user: List[CandidateSet],
         rids: Sequence[str],
+        kern: Optional[SequenceKernel] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(J, N) index tuples into the per-user candidate lists + scores."""
         step = seq.steps[t]
@@ -150,11 +174,18 @@ class NChainHdbn:
         if prune_active:
             # The pairwise rule matrices are cached per candidate list, so
             # every ordered chain pair reuses the same per-rule rows.
-            amb = StepItems(step)
+            amb = kern.step_items(t) if kern is not None else StepItems(step)
             mask = np.ones(grids.shape[0], dtype=bool)
             for a in range(n):
                 for b in range(a + 1, n):
-                    pair_keep = self._cross_pruner.keep(amb, per_user[a], per_user[b])
+                    gates = (
+                        kern.cross_gates(rids[a], rids[b], t)
+                        if kern is not None
+                        else None
+                    )
+                    pair_keep = self._cross_pruner.keep(
+                        amb, per_user[a], per_user[b], gates
+                    )
                     mask &= pair_keep[grids[:, a], grids[:, b]]
             if mask.any():
                 # Count only joint states actually removed (the all-pruned
@@ -281,10 +312,13 @@ class NChainHdbn:
             raise ValueError("NChainHdbn expects >= 2 residents (use SingleUserHdbn)")
         self.last_stats = DecodeStats()
         stats = self.last_stats
+        kern = self._make_kernel(seq, rids)
+        if kern is not None:
+            kern.ensure(0, len(seq))
         per_step = []
         for t in range(len(seq)):
-            per_user = [self._user_candidates(seq, rid, t) for rid in rids]
-            grids, scores = self._joint_candidates(seq, t, per_user, rids)
+            per_user = [self._user_candidates(seq, rid, t, kern) for rid in rids]
+            grids, scores = self._joint_candidates(seq, t, per_user, rids, kern)
             enc = self._encode(per_user, grids)
             per_step.append((per_user, grids, scores, enc))
             stats.steps += 1
@@ -295,31 +329,19 @@ class NChainHdbn:
         """Joint Viterbi macro labels for every resident."""
         rids, per_step = self._prepare(seq)
         cm = self.constraint_model
-        stats = self.last_stats
 
         per_user, grids, scores, (m_enc, l_enc) = per_step[0]
-        delta = scores + np.sum(
+        initial = scores + np.sum(
             np.log(cm.macro_prior[m_enc] + _TINY)
             + self._log_subloc_prior[m_enc, l_enc],
             axis=1,
         )
-        backs: List[np.ndarray] = [np.zeros(len(delta), dtype=int)]
+        per_scores = [p[2] for p in per_step]
 
-        for t in range(1, len(per_step)):
-            prev_enc = per_step[t - 1][3]
-            per_user, grids, scores, enc = per_step[t]
-            log_t = self._transition_block(prev_enc, enc)
-            stats.transition_entries += log_t.size
-            total = delta[:, None] + log_t
-            back = np.argmax(total, axis=0)
-            delta = total[back, np.arange(total.shape[1])] + scores
-            backs.append(back)
+        def transition(t: int) -> np.ndarray:
+            return self._transition_block(per_step[t - 1][3], per_step[t][3])
 
-        idx = int(np.argmax(delta))
-        path: List[int] = [idx]
-        for t in range(len(per_step) - 1, 0, -1):
-            path.append(int(backs[t][path[-1]]))
-        path.reverse()
+        path = viterbi_path(initial, per_scores, transition, self.last_stats)
 
         out: Dict[str, List[str]] = {rid: [] for rid in rids}
         for t, j in enumerate(path):
@@ -334,35 +356,24 @@ class NChainHdbn:
         cm = self.constraint_model
         n_m = cm.n_macro
 
-        lse = _lse
-
-        alphas: List[np.ndarray] = []
         _, _, scores, (m_enc, l_enc) = per_step[0]
-        alpha = scores + np.sum(
+        initial = scores + np.sum(
             np.log(cm.macro_prior[m_enc] + _TINY)
             + self._log_subloc_prior[m_enc, l_enc],
             axis=1,
         )
-        alphas.append(alpha)
-        for t in range(1, len(per_step)):
-            prev_enc = per_step[t - 1][3]
-            _, _, scores, enc = per_step[t]
-            log_t = self._transition_block(prev_enc, enc)
-            alpha = scores + lse(alphas[-1][:, None] + log_t, axis=0)
-            alphas.append(alpha)
+        per_scores = [p[2] for p in per_step]
 
-        betas: List[Optional[np.ndarray]] = [None] * len(per_step)
-        betas[-1] = np.zeros_like(alphas[-1])
-        for t in range(len(per_step) - 2, -1, -1):
-            enc = per_step[t][3]
-            nxt_scores, nxt_enc = per_step[t + 1][2], per_step[t + 1][3]
-            log_t = self._transition_block(enc, nxt_enc)
-            betas[t] = lse(log_t + (nxt_scores + betas[t + 1])[None, :], axis=1)
+        def transition(t: int) -> np.ndarray:
+            return self._transition_block(per_step[t - 1][3], per_step[t][3])
+
+        alphas = forward_alphas(initial, per_scores, transition)
+        betas = backward_betas(per_scores, transition)
 
         out = {rid: np.zeros((len(per_step), n_m)) for rid in rids}
         for t in range(len(per_step)):
             log_gamma = alphas[t] + betas[t]
-            log_gamma -= lse(log_gamma, axis=0)
+            log_gamma -= _lse(log_gamma, axis=0)
             gamma = np.exp(log_gamma)
             m_enc, _ = per_step[t][3]
             for u, rid in enumerate(rids):
@@ -377,11 +388,21 @@ class _NChainTrellis:
         self.model = model
         self.seq = seq
         self.rids = rids
+        self._kern = model._make_kernel(seq, rids)
+
+    def prepare(self, t0: int, t1: int) -> None:
+        """Batch-build the per-sequence evidence tables for ``[t0, t1)``
+        ahead of the per-step ``piece`` calls (used by bulk pushes)."""
+        if self._kern is not None:
+            self._kern.ensure(t0, t1)
 
     def piece(self, t: int) -> TrellisPiece:
         model, seq, rids = self.model, self.seq, self.rids
-        per_user = [model._user_candidates(seq, rid, t) for rid in rids]
-        grids, scores = model._joint_candidates(seq, t, per_user, rids)
+        kern = self._kern
+        if kern is not None:
+            kern.ensure(0, t + 1)
+        per_user = [model._user_candidates(seq, rid, t, kern) for rid in rids]
+        grids, scores = model._joint_candidates(seq, t, per_user, rids, kern)
         enc = model._encode(per_user, grids)
         return TrellisPiece(scores=scores, enc=enc, extra=(per_user, grids))
 

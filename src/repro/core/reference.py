@@ -1,15 +1,18 @@
 """Seed (pre-optimisation) implementation of the coupled decode hot path.
 
 The optimised hot path in :mod:`repro.core.chdbn`, :mod:`repro.core.
-rule_kernel` and :mod:`repro.core.emissions` replaces per-pair label
-lookups, per-state ``frozenset`` algebra and the per-object Python loop
-with precomputed encodings and boolean/float vectors.  This module keeps
-the original straight-line implementation as the *executable
-specification*: :class:`ReferenceCoupledHdbn` overrides exactly the
-per-step machinery that was rewritten, so
+rule_kernel`, :mod:`repro.core.emissions` and :mod:`repro.core.kernels`
+replaces per-pair label lookups, per-state ``frozenset`` algebra, the
+per-object Python loop and per-step evidence dispatch with precomputed
+encodings, boolean/float vectors and per-sequence batched tables.  This
+module keeps the original straight-line implementation as the
+*executable specification*: :class:`ReferenceCoupledHdbn` and
+:class:`ReferenceNChainHdbn` override exactly the per-step machinery
+that was rewritten, so
 
-* ``tests/test_decode_stats.py`` asserts the optimised ``decode`` labels
-  are identical and ``posterior_marginals`` agree to 1e-10, and
+* ``tests/test_decode_stats.py`` / ``tests/test_kernels.py`` assert the
+  optimised ``decode`` labels are identical and ``posterior_marginals``
+  agree to 1e-10, and
 * ``benchmarks/bench_decode_hotpath.py`` measures the steps/sec gain.
 
 Do not "optimise" this file — its value is being slow and obviously
@@ -25,15 +28,18 @@ guarantee under exact score ties.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.chdbn import CoupledHdbn
 from repro.core.emissions import object_log_evidence
+from repro.core.loosely_coupled import NChainHdbn
 from repro.core.state_space import CandidateSet, UserState, _ROOM_OF
 from repro.datasets.trace import LabeledSequence
 from repro.models.chmm import soft_location_log_evidence
+
+_TINY = 1e-12
 
 
 def reference_user_state_emissions(
@@ -93,15 +99,157 @@ def reference_user_state_emissions(
     return out
 
 
+def reference_chain_block(
+    model,
+    m_prev: np.ndarray,
+    l_prev: np.ndarray,
+    partner_prev: np.ndarray,
+    m_cur: np.ndarray,
+    l_cur: np.ndarray,
+) -> np.ndarray:
+    """Seed per-step coupled chain block (transcendentals on every call)."""
+    same = m_prev[:, None] == m_cur[None, :]
+    log_stay = np.log1p(-model._p_change[m_prev])[:, None]
+    log_change = (
+        np.log(model._p_change[m_prev])[:, None]
+        + np.log(
+            model._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
+            + _TINY
+        )
+    )
+    macro_term = np.where(same, log_stay, log_change)
+
+    micro_end = model._micro_end[m_cur][None, :]
+    same_loc = l_prev[:, None] == l_cur[None, :]
+    cont = np.log(
+        (1.0 - micro_end) * same_loc
+        + micro_end * model._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
+        + _TINY
+    )
+    reset = model._log_subloc_prior[m_cur, l_cur][None, :]
+    loc_term = np.where(same, cont, reset)
+    return macro_term + loc_term
+
+
+def reference_user_candidates(
+    model, seq: LabeledSequence, rid: str, t: int
+) -> CandidateSet:
+    """Seed per-user candidate builder: frozenset item-set rule pruning,
+    per-state emission loop, label-based encodings resolved at the end."""
+    obs = seq.steps[t].observations[rid]
+    states = model.builder.candidate_states(obs)
+    if model._single_rules is not None and getattr(model, "prune_per_user", True):
+        amb = model.builder.ambient_item_set(seq.steps[t])
+        kept = [
+            s
+            for s in states
+            if model._single_rules.is_consistent(
+                model.builder.state_item_set("u1", s, obs) | amb
+            )
+        ]
+        if kept:
+            states = kept
+    emissions = reference_user_state_emissions(model, seq, rid, t, states)
+    if len(states) > model.max_states_per_user:
+        top = np.argsort(emissions)[::-1][: model.max_states_per_user]
+        states = [states[i] for i in top]
+        emissions = emissions[top]
+    cm = model.constraint_model
+    m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
+    l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
+    return CandidateSet(states=states, m=m, l=l, emissions=emissions, obs=obs)
+
+
+def reference_cross_prune_mask(
+    model,
+    step,
+    s1: List[UserState],
+    obs1,
+    s2: List[UserState],
+    obs2,
+) -> np.ndarray:
+    """Seed cross-user pruning via frozenset item-set algebra (one ordered
+    pair of chains; slot labels are always ``u1``/``u2`` because the rules
+    are mined on symmetrised two-user slots)."""
+    amb = model.builder.ambient_item_set(step)
+    items1 = [model.builder.state_item_set("u1", s, obs1) for s in s1]
+    items2 = [model.builder.state_item_set("u2", s, obs2) for s in s2]
+    keep = np.ones((len(s1), len(s2)), dtype=bool)
+
+    for excl in model._cross_rules.hard_exclusions:
+        a, b = excl.a, excl.b
+        has_a = np.array([a in it for it in items1]) if a.slot == "u1" else None
+        has_b = np.array([b in it for it in items2]) if b.slot == "u2" else None
+        if has_a is None or has_b is None:
+            continue
+        keep &= ~np.outer(has_a, has_b)
+
+    for rule in model._cross_rules.forcing_rules:
+        ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
+        ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
+        ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
+        if not ant_amb <= amb:
+            continue
+        sat1 = np.array([ant1 <= it for it in items1])
+        sat2 = np.array([ant2 <= it for it in items2])
+        cons = rule.consequent
+        key = (cons.time, cons.attr)
+        if cons.slot == "u1":
+            viol = np.array(
+                [
+                    any((i.time, i.attr) == key and i.value != cons.value for i in it)
+                    and cons not in it
+                    for it in items1
+                ]
+            )
+            keep &= ~np.outer(sat1 & viol, sat2)
+        elif cons.slot == "u2":
+            viol = np.array(
+                [
+                    any((i.time, i.attr) == key and i.value != cons.value for i in it)
+                    and cons not in it
+                    for it in items2
+                ]
+            )
+            keep &= ~np.outer(sat1, sat2 & viol)
+    return keep
+
+
+def reference_soft_exclusion_penalty(
+    model, s1: List[UserState], obs1, s2: List[UserState], obs2
+) -> np.ndarray:
+    """(n1, n2) seed soft-exclusion penalty matrix for one chain pair."""
+    soft = model._cross_rules.soft_exclusions
+    if not soft:
+        return np.zeros((len(s1), len(s2)))
+    items1 = [model.builder.state_item_set("u1", s, obs1) for s in s1]
+    items2 = [model.builder.state_item_set("u2", s, obs2) for s in s2]
+    penalty = np.zeros((len(s1), len(s2)))
+    for excl in soft:
+        a, b = excl.a, excl.b
+        if a.slot != "u1" or b.slot != "u2":
+            continue
+        has_a = np.array([a in it for it in items1])
+        has_b = np.array([b in it for it in items2])
+        penalty += np.outer(has_a, has_b) * model.soft_exclusion_penalty
+    return penalty
+
+
 class ReferenceCoupledHdbn(CoupledHdbn):
     """`CoupledHdbn` with the seed's per-step hot path.
 
     The Viterbi / sum-product recursions are inherited unchanged; the
     candidate / pruning / emission machinery and the per-step transition
-    blocks are the original implementations.
+    blocks are the original implementations.  ``kern`` parameters are
+    accepted and ignored (the reference always scores per step).
     """
 
-    _TINY = 1e-12
+    _TINY = _TINY
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # The reference path scores per step by construction.
+        self.use_sequence_kernels = False
 
     def _chain_block(
         self,
@@ -111,52 +259,12 @@ class ReferenceCoupledHdbn(CoupledHdbn):
         m_cur: np.ndarray,
         l_cur: np.ndarray,
     ) -> np.ndarray:
-        tiny = self._TINY
-        same = m_prev[:, None] == m_cur[None, :]
-        log_stay = np.log1p(-self._p_change[m_prev])[:, None]
-        log_change = (
-            np.log(self._p_change[m_prev])[:, None]
-            + np.log(
-                self._change_trans[m_prev[:, None], partner_prev[:, None], m_cur[None, :]]
-                + tiny
-            )
-        )
-        macro_term = np.where(same, log_stay, log_change)
+        return reference_chain_block(self, m_prev, l_prev, partner_prev, m_cur, l_cur)
 
-        micro_end = self._micro_end[m_cur][None, :]
-        same_loc = l_prev[:, None] == l_cur[None, :]
-        cont = np.log(
-            (1.0 - micro_end) * same_loc
-            + micro_end * self._subloc_trans[m_cur[None, :], l_prev[:, None], l_cur[None, :]]
-            + tiny
-        )
-        reset = self._log_subloc_prior[m_cur, l_cur][None, :]
-        loc_term = np.where(same, cont, reset)
-        return macro_term + loc_term
-
-    def _user_candidates(self, seq: LabeledSequence, rid: str, t: int) -> CandidateSet:
-        obs = seq.steps[t].observations[rid]
-        states = self.builder.candidate_states(obs)
-        if self._single_rules is not None and self.prune_per_user:
-            amb = self.builder.ambient_item_set(seq.steps[t])
-            kept = [
-                s
-                for s in states
-                if self._single_rules.is_consistent(
-                    self.builder.state_item_set("u1", s, obs) | amb
-                )
-            ]
-            if kept:
-                states = kept
-        emissions = reference_user_state_emissions(self, seq, rid, t, states)
-        if len(states) > self.max_states_per_user:
-            top = np.argsort(emissions)[::-1][: self.max_states_per_user]
-            states = [states[i] for i in top]
-            emissions = emissions[top]
-        cm = self.constraint_model
-        m = np.array([cm.macro_index.index(s.macro) for s in states], dtype=int)
-        l = np.array([cm.subloc_index.index(s.subloc) for s in states], dtype=int)
-        return CandidateSet(states=states, m=m, l=l, emissions=emissions, obs=obs)
+    def _user_candidates(
+        self, seq: LabeledSequence, rid: str, t: int, kern=None
+    ) -> CandidateSet:
+        return reference_user_candidates(self, seq, rid, t)
 
     def _joint_candidates(
         self,
@@ -165,6 +273,7 @@ class ReferenceCoupledHdbn(CoupledHdbn):
         c1: CandidateSet,
         c2: CandidateSet,
         rids: Tuple[str, str],
+        kern=None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         s1, s2 = c1.states, c2.states
         e1, e2 = c1.emissions, c2.emissions
@@ -179,9 +288,11 @@ class ReferenceCoupledHdbn(CoupledHdbn):
         scores = e1[pairs[:, 0]] + e2[pairs[:, 1]]
         scores = scores + self._reference_coverage_penalty(seq.steps[t], s1, s2, pairs)
         if self._cross_rules is not None and self.prune_cross:
-            scores = scores + self._reference_soft_exclusion_penalty(
-                seq.steps[t], s1, s2, pairs, rids
+            step = seq.steps[t]
+            penalty = reference_soft_exclusion_penalty(
+                self, s1, step.observations[rids[0]], s2, step.observations[rids[1]]
             )
+            scores = scores + penalty[pairs[:, 0], pairs[:, 1]]
         cap = self.max_joint_states
         if self.rule_set is not None and self.prune_cross:
             cap = min(cap, self.max_joint_states_pruned)
@@ -213,31 +324,6 @@ class ReferenceCoupledHdbn(CoupledHdbn):
                 out += np.where(covered, 0.0, self.unexplained_room_penalty)
         return out
 
-    def _reference_soft_exclusion_penalty(
-        self,
-        step,
-        s1: List[UserState],
-        s2: List[UserState],
-        pairs: np.ndarray,
-        rids: Tuple[str, str],
-    ) -> np.ndarray:
-        soft = self._cross_rules.soft_exclusions
-        if not soft:
-            return np.zeros(pairs.shape[0])
-        obs1 = step.observations[rids[0]]
-        obs2 = step.observations[rids[1]]
-        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
-        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
-        penalty = np.zeros((len(s1), len(s2)))
-        for excl in soft:
-            a, b = excl.a, excl.b
-            if a.slot != "u1" or b.slot != "u2":
-                continue
-            has_a = np.array([a in it for it in items1])
-            has_b = np.array([b in it for it in items2])
-            penalty += np.outer(has_a, has_b) * self.soft_exclusion_penalty
-        return penalty[pairs[:, 0], pairs[:, 1]]
-
     def _reference_cross_prune_mask(
         self,
         seq: LabeledSequence,
@@ -247,53 +333,113 @@ class ReferenceCoupledHdbn(CoupledHdbn):
         rids: Tuple[str, str],
     ) -> np.ndarray:
         step = seq.steps[t]
-        amb = self.builder.ambient_item_set(step)
-        obs1 = step.observations[rids[0]]
-        obs2 = step.observations[rids[1]]
-        items1 = [self.builder.state_item_set("u1", s, obs1) for s in s1]
-        items2 = [self.builder.state_item_set("u2", s, obs2) for s in s2]
-        keep = np.ones((len(s1), len(s2)), dtype=bool)
+        return reference_cross_prune_mask(
+            self, step, s1, step.observations[rids[0]], s2, step.observations[rids[1]]
+        )
 
-        for excl in self._cross_rules.hard_exclusions:
-            a, b = excl.a, excl.b
-            has_a = np.array([a in it for it in items1]) if a.slot == "u1" else None
-            has_b = np.array([b in it for it in items2]) if b.slot == "u2" else None
-            if has_a is None or has_b is None:
-                continue
-            keep &= ~np.outer(has_a, has_b)
 
-        for rule in self._cross_rules.forcing_rules:
-            ant1 = frozenset(i for i in rule.antecedent if i.slot == "u1")
-            ant2 = frozenset(i for i in rule.antecedent if i.slot == "u2")
-            ant_amb = frozenset(i for i in rule.antecedent if i.slot == "amb")
-            if not ant_amb <= amb:
-                continue
-            sat1 = np.array([ant1 <= it for it in items1])
-            sat2 = np.array([ant2 <= it for it in items2])
-            cons = rule.consequent
-            key = (cons.time, cons.attr)
-            if cons.slot == "u1":
-                viol = np.array(
-                    [
-                        any(
-                            (i.time, i.attr) == key and i.value != cons.value
-                            for i in it
-                        )
-                        and cons not in it
-                        for it in items1
-                    ]
-                )
-                keep &= ~np.outer(sat1 & viol, sat2)
-            elif cons.slot == "u2":
-                viol = np.array(
-                    [
-                        any(
-                            (i.time, i.attr) == key and i.value != cons.value
-                            for i in it
-                        )
-                        and cons not in it
-                        for it in items2
-                    ]
-                )
-                keep &= ~np.outer(sat1, sat2 & viol)
-        return keep
+class ReferenceNChainHdbn(NChainHdbn):
+    """`NChainHdbn` with the seed-style per-step hot path.
+
+    Mirrors the fast N-chain model's operation order exactly (pairwise
+    prune, emissions, soft exclusions, joint coverage, cap) while
+    computing every term the seed way: frozenset item-set algebra,
+    per-state emission loops, label-string comparisons, and per-step
+    transcendental chain blocks.
+    """
+
+    _TINY = _TINY
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.use_sequence_kernels = False
+
+    def _chain_block(
+        self,
+        m_prev: np.ndarray,
+        l_prev: np.ndarray,
+        partner_prev: np.ndarray,
+        m_cur: np.ndarray,
+        l_cur: np.ndarray,
+    ) -> np.ndarray:
+        return reference_chain_block(self, m_prev, l_prev, partner_prev, m_cur, l_cur)
+
+    def _user_candidates(
+        self, seq: LabeledSequence, rid: str, t: int, kern=None
+    ) -> CandidateSet:
+        return reference_user_candidates(self, seq, rid, t)
+
+    def _joint_candidates(
+        self,
+        seq: LabeledSequence,
+        t: int,
+        per_user: List[CandidateSet],
+        rids: Sequence[str],
+        kern=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        step = seq.steps[t]
+        n = len(per_user)
+        sizes = [len(c) for c in per_user]
+        grids = np.indices(sizes).reshape(n, -1).T  # (prod, N)
+
+        prune_active = self._cross_rules is not None and self.prune_cross
+        if prune_active:
+            mask = np.ones(grids.shape[0], dtype=bool)
+            for a in range(n):
+                for b in range(a + 1, n):
+                    pair_keep = reference_cross_prune_mask(
+                        self,
+                        step,
+                        per_user[a].states,
+                        step.observations[rids[a]],
+                        per_user[b].states,
+                        step.observations[rids[b]],
+                    )
+                    mask &= pair_keep[grids[:, a], grids[:, b]]
+            if mask.any():
+                self.last_stats.pruned_joint_states += int((~mask).sum())
+                grids = grids[mask]
+
+        scores = np.zeros(grids.shape[0])
+        for u, c in enumerate(per_user):
+            scores += c.emissions[grids[:, u]]
+
+        if prune_active:
+            for a in range(n):
+                for b in range(a + 1, n):
+                    pen = reference_soft_exclusion_penalty(
+                        self,
+                        per_user[a].states,
+                        step.observations[rids[a]],
+                        per_user[b].states,
+                        step.observations[rids[b]],
+                    )
+                    scores += pen[grids[:, a], grids[:, b]]
+
+        # Joint explaining-away over all chains (seed-style label compares).
+        locs = [np.array([s.subloc for s in c.states], dtype=object) for c in per_user]
+        for fired in step.sublocs_fired:
+            covered = np.zeros(grids.shape[0], dtype=bool)
+            for u in range(n):
+                covered |= locs[u][grids[:, u]] == fired
+            scores += np.where(covered, 0.0, self.unexplained_subloc_penalty)
+        if not step.sublocs_fired and step.rooms_fired:
+            rooms = [
+                np.array([_ROOM_OF.get(s.subloc) for s in c.states], dtype=object)
+                for c in per_user
+            ]
+            for fired in step.rooms_fired:
+                covered = np.zeros(grids.shape[0], dtype=bool)
+                for u in range(n):
+                    covered |= rooms[u][grids[:, u]] == fired
+                scores += np.where(covered, 0.0, self.unexplained_room_penalty)
+
+        cap = self.max_joint_states
+        if self.rule_set is not None and self.prune_cross:
+            cap = min(cap, self.max_joint_states_pruned)
+        if grids.shape[0] > cap:
+            self.last_stats.capped_joint_states += grids.shape[0] - cap
+            top = np.argsort(scores)[::-1][:cap]
+            grids = grids[top]
+            scores = scores[top]
+        return grids, scores

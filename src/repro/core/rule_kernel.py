@@ -305,11 +305,18 @@ class SingleRulePruner:
         l: np.ndarray,
         obs: ResidentObservation,
         amb: StepItems,
+        gates: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """(n,) mask of candidates consistent with the single-user rules."""
+        """(n,) mask of candidates consistent with the single-user rules.
+
+        ``gates`` short-circuits the per-step gate evaluation with a
+        precomputed vector (the sequence kernel batches them per step).
+        """
         if not self._specs:
             return np.ones(m.shape[0], dtype=bool)
-        violations = self._gates(amb, obs) @ self._rows(key, m, l)
+        if gates is None:
+            gates = self._gates(amb, obs)
+        violations = gates @ self._rows(key, m, l)
         return violations == 0.0
 
 
@@ -400,19 +407,23 @@ class CrossRulePruner:
             self._gate_cache[key] = gates
         return gates
 
-    def keep(self, amb: StepItems, c1, c2) -> np.ndarray:
+    def keep(
+        self, amb: StepItems, c1, c2, gates: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """(|c1|, |c2|) mask of joint states consistent with the rules.
 
         ``c1`` / ``c2`` are :class:`~repro.core.state_space.CandidateSet`
         instances carrying their source-list key, full arrays and the
-        surviving indices.
+        surviving indices.  ``gates`` short-circuits the per-step gate
+        evaluation with a precomputed vector.
         """
         n1, n2 = len(c1), len(c2)
         if not self._specs:
             return np.ones((n1, n2), dtype=bool)
         rows1 = self._rows(c1.src_key, c1.src_m, c1.src_l)[0][:, c1.src_idx]
         rows2 = self._rows(c2.src_key, c2.src_m, c2.src_l)[1][:, c2.src_idx]
-        gates = self._gates(amb, c1.obs, c2.obs)
+        if gates is None:
+            gates = self._gates(amb, c1.obs, c2.obs)
         hits = (rows1 * gates[:, None]).T @ rows2
         return hits == 0.0
 

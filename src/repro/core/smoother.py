@@ -26,12 +26,12 @@ streaming overhead reports match the Fig 11 metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.api import DecodeStats, Recognizer, TrellisPiece, TrellisSession
-from repro.core.chdbn import _lse
+from repro.core.kernels import _lse
 
 
 @dataclass
@@ -56,8 +56,21 @@ class OnlineSmoother:
     _rids: Tuple[str, ...] = field(default=(), init=False)
     _pieces: List[List[TrellisPiece]] = field(default_factory=list, init=False, repr=False)
     _alphas: List[List[np.ndarray]] = field(default_factory=list, init=False, repr=False)
+    #: Per-session transition blocks computed at push time; ``_trans[k][t]``
+    #: is the block between steps t-1 and t (None at t=0 and for
+    #: frame-wise chains), reused by the lag-window backward sweeps
+    #: instead of being recomputed on every commit.
+    _trans: List[List[Optional[np.ndarray]]] = field(
+        default_factory=list, init=False, repr=False
+    )
     _pushed: int = field(default=0, init=False)
     _committed: int = field(default=0, init=False)
+
+    @property
+    def residents(self) -> Tuple[str, ...]:
+        """Resident ids covered by the active session (empty before
+        :meth:`start`)."""
+        return self._rids
 
     def start(self, seq) -> None:
         """Begin a session; steps are then consumed with :meth:`push`."""
@@ -68,6 +81,7 @@ class OnlineSmoother:
         self._rids = tuple(rid for sess in sessions for rid in sess.rids)
         self._pieces = [[] for _ in sessions]
         self._alphas = [[] for _ in sessions]
+        self._trans = [[] for _ in sessions]
         self._pushed = 0
         self._committed = 0
         self.stats = DecodeStats()
@@ -98,6 +112,7 @@ class OnlineSmoother:
             log_t = None
             if t > 0:
                 log_t = sess.transition(self._pieces[k][-2], piece)
+            self._trans[k].append(log_t)
             if log_t is None:
                 alpha = sess.initial_alpha(piece)
             else:
@@ -115,6 +130,23 @@ class OnlineSmoother:
         labels = self._smooth_at(commit_t, t)
         self._committed = commit_t + 1
         return labels
+
+    def push_many(self, ts: Sequence[int]) -> List[Optional[Dict[str, str]]]:
+        """Bulk-append: batch-build each session's per-sequence evidence
+        tables for the whole range, then push the steps in order.
+
+        Returns one entry per pushed step (None while the lag window is
+        still filling), exactly as step-by-step :meth:`push` would.
+        """
+        if self._sessions is None:
+            raise RuntimeError("call start() before push_many()")
+        ts = list(ts)
+        if ts:
+            for sess in self._sessions:
+                prepare = getattr(sess, "prepare", None)
+                if prepare is not None:
+                    prepare(ts[0], ts[-1] + 1)
+        return [self.push(t) for t in ts]
 
     def flush(self) -> List[Dict[str, str]]:
         """Commit every step still inside the lag window (session end)."""
@@ -151,7 +183,7 @@ class OnlineSmoother:
             beta = np.zeros_like(self._alphas[k][horizon])
             for t in range(horizon - 1, commit_t - 1, -1):
                 nxt = pieces[t + 1]
-                log_t = sess.transition(pieces[t], nxt)
+                log_t = self._trans[k][t + 1]
                 if log_t is None:
                     # Frame-wise chain: future evidence is independent of
                     # the committed step.

@@ -791,6 +791,43 @@ def fig12_incremental(
 
 
 @dataclass
+class PathResult:
+    """One benchmark path: seed-reference vs optimised timings."""
+
+    name: str
+    steps: int
+    seconds_reference: float
+    seconds_optimised: float
+    labels_identical: bool
+
+    @property
+    def reference_steps_per_s(self) -> float:
+        """Seed-implementation throughput."""
+        return self.steps / max(self.seconds_reference, 1e-12)
+
+    @property
+    def optimised_steps_per_s(self) -> float:
+        """Optimised-implementation throughput."""
+        return self.steps / max(self.seconds_optimised, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        """Optimised vs seed reference."""
+        return self.seconds_reference / max(self.seconds_optimised, 1e-12)
+
+    def to_dict(self) -> Dict:
+        """Machine-readable form (BENCH_decode.json)."""
+        return {
+            "name": self.name,
+            "steps": self.steps,
+            "seconds_reference": self.seconds_reference,
+            "seconds_optimised": self.seconds_optimised,
+            "speedup": self.speedup,
+            "labels_identical": self.labels_identical,
+        }
+
+
+@dataclass
 class DecodeHotpathResult:
     """Steps/sec of the optimised decode hot path vs the seed reference."""
 
@@ -800,6 +837,12 @@ class DecodeHotpathResult:
     seconds_batched: float
     workers: int
     labels_identical: bool
+    #: 3-resident N-chain decode path (None when not benchmarked).
+    nchain: Optional[PathResult] = None
+    #: Fixed-lag smoother streaming path (None when not benchmarked).
+    smoother: Optional[PathResult] = None
+    #: ``predict_dataset`` wall-clock per worker count.
+    fanout: Dict[int, float] = field(default_factory=dict)
 
     @property
     def reference_steps_per_s(self) -> float:
@@ -821,21 +864,83 @@ class DecodeHotpathResult:
         """Serial optimised vs seed reference."""
         return self.seconds_reference / max(self.seconds_optimised, 1e-12)
 
+    def to_dict(self) -> Dict:
+        """Machine-readable form for ``BENCH_decode.json``."""
+        out = {
+            "c2": {
+                "name": "c2",
+                "steps": self.steps,
+                "seconds_reference": self.seconds_reference,
+                "seconds_optimised": self.seconds_optimised,
+                "speedup": self.speedup,
+                "labels_identical": self.labels_identical,
+            },
+            "fanout": {
+                str(w): {
+                    "seconds": secs,
+                    "steps_per_s": self.steps / max(secs, 1e-12),
+                }
+                for w, secs in sorted(self.fanout.items())
+            },
+        }
+        if self.nchain is not None:
+            out["nchain"] = self.nchain.to_dict()
+        if self.smoother is not None:
+            out["smoother"] = self.smoother.to_dict()
+        return out
+
     def render(self) -> str:
-        """Benchmark table (before vs after, plus the batched path)."""
+        """Benchmark table (before vs after, plus the batched paths)."""
         rows = [
-            ("reference (seed)", self.seconds_reference, self.reference_steps_per_s),
-            ("optimised", self.seconds_optimised, self.optimised_steps_per_s),
-            (f"optimised x{self.workers} workers", self.seconds_batched, self.batched_steps_per_s),
+            ("c2 reference (seed)", self.seconds_reference, self.reference_steps_per_s),
+            ("c2 optimised", self.seconds_optimised, self.optimised_steps_per_s),
         ]
-        lines = ["decode hot path (c2, seeded CACE corpus)"]
-        lines.append(f"{'variant':<26}{'seconds':>10}{'steps/s':>12}")
+        for w, secs in sorted(self.fanout.items()):
+            rows.append(
+                (f"c2 optimised x{w} workers", secs, self.steps / max(secs, 1e-12))
+            )
+        for path in (self.nchain, self.smoother):
+            if path is None:
+                continue
+            rows.append(
+                (
+                    f"{path.name} reference (seed)",
+                    path.seconds_reference,
+                    path.reference_steps_per_s,
+                )
+            )
+            rows.append(
+                (
+                    f"{path.name} optimised",
+                    path.seconds_optimised,
+                    path.optimised_steps_per_s,
+                )
+            )
+        lines = ["decode hot path (seeded CACE corpus)"]
+        lines.append(f"{'variant':<30}{'seconds':>10}{'steps/s':>12}")
         for name, secs, sps in rows:
-            lines.append(f"{name:<26}{secs:>10.3f}{sps:>12.1f}")
+            lines.append(f"{name:<30}{secs:>10.3f}{sps:>12.1f}")
         lines.append(
-            f"speedup: {self.speedup:.2f}x | labels identical: {self.labels_identical}"
+            f"c2 speedup: {self.speedup:.2f}x | labels identical: {self.labels_identical}"
         )
+        for path in (self.nchain, self.smoother):
+            if path is not None:
+                lines.append(
+                    f"{path.name} speedup: {path.speedup:.2f}x | "
+                    f"labels identical: {path.labels_identical}"
+                )
         return "\n".join(lines)
+
+
+def _stream_labels_many(model, seq, lag: int) -> Dict[str, List[str]]:
+    """Per-resident labels from streaming *seq* through ``push_many``."""
+    from repro.core.smoother import OnlineSmoother
+
+    sm = OnlineSmoother(model, lag=lag)
+    sm.start(seq)
+    per_step = [x for x in sm.push_many(range(len(seq))) if x is not None]
+    per_step.extend(sm.flush())
+    return {rid: [labels[rid] for labels in per_step] for rid in sm.residents}
 
 
 def decode_hotpath_benchmark(
@@ -844,6 +949,11 @@ def decode_hotpath_benchmark(
     duration_s: float = 2400.0,
     seed: RandomState = 7,
     workers: int = 2,
+    fanout_workers: Sequence[int] = (2, 4),
+    include_nchain: bool = True,
+    nchain_duration_s: float = 1200.0,
+    include_smoother: bool = True,
+    smoother_lag: int = 4,
 ) -> DecodeHotpathResult:
     """Time c2 decoding, seed hot path vs optimised, on one fitted model.
 
@@ -908,13 +1018,94 @@ def decode_hotpath_benchmark(
 
     engine = CaceEngine(strategy="c2", seed=model_seed)
     engine.model_ = fast
+    fanout: Dict[int, float] = {}
     try:
-        engine.predict_dataset(test, workers=workers)  # warm-up (pool spawn + model ship)
-        t0 = time.perf_counter()
-        engine.predict_dataset(test, workers=workers)
-        seconds_batched = time.perf_counter() - t0
+        for w in dict.fromkeys(tuple(fanout_workers) + (workers,)):
+            engine.predict_dataset(test, workers=w)  # warm-up (pool spawn + model ship)
+            t0 = time.perf_counter()
+            engine.predict_dataset(test, workers=w)
+            fanout[w] = time.perf_counter() - t0
     finally:
         engine.close()
+    seconds_batched = fanout[workers]
+
+    smoother_result: Optional[PathResult] = None
+    if include_smoother:
+        from repro.core.smoother import OnlineSmoother
+
+        # Warm-up, then time: fast path streams through push_many (bulk
+        # kernel builds), reference replays push-by-push on the seed model.
+        _stream_labels_many(fast, test.sequences[0], smoother_lag)
+        t0 = time.perf_counter()
+        sm_fast = [
+            _stream_labels_many(fast, seq, smoother_lag) for seq in test.sequences
+        ]
+        sm_fast_seconds = time.perf_counter() - t0
+
+        OnlineSmoother(reference, lag=smoother_lag).run(test.sequences[0])
+        t0 = time.perf_counter()
+        sm_ref = [
+            OnlineSmoother(reference, lag=smoother_lag).run(seq)
+            for seq in test.sequences
+        ]
+        sm_ref_seconds = time.perf_counter() - t0
+        smoother_result = PathResult(
+            name="smoother",
+            steps=steps,
+            seconds_reference=sm_ref_seconds,
+            seconds_optimised=sm_fast_seconds,
+            labels_identical=sm_fast == sm_ref,
+        )
+
+    nchain_result: Optional[PathResult] = None
+    if include_nchain:
+        from repro.core.loosely_coupled import NChainHdbn
+        from repro.core.reference import ReferenceNChainHdbn
+
+        nc_dataset = generate_cace_dataset(
+            n_homes=n_homes,
+            sessions_per_home=sessions_per_home,
+            duration_s=nchain_duration_s,
+            residents_per_home=3,
+            seed=rng.integers(0, 2**31),
+        )
+        nc_train, nc_test = train_test_split(
+            nc_dataset, 0.7, seed=rng.integers(0, 2**31)
+        )
+        nc_rules = CorrelationMiner().mine(nc_train.sequences)
+        nc_constraints = ConstraintMiner().fit(
+            nc_train.sequences,
+            nc_train.macro_vocab,
+            nc_train.postural_vocab,
+            nc_train.gestural_vocab,
+            nc_train.subloc_vocab,
+        )
+        nc_seed = int(rng.integers(0, 2**31))
+        nc_fast = NChainHdbn(
+            constraint_model=nc_constraints, rule_set=nc_rules, seed=nc_seed
+        ).fit(nc_train)
+        nc_reference = ReferenceNChainHdbn(
+            constraint_model=nc_constraints, rule_set=nc_rules, seed=nc_seed
+        ).fit(nc_train)
+
+        nc_fast_labels = [nc_fast.decode(seq) for seq in nc_test.sequences]  # warm-up
+        t0 = time.perf_counter()
+        nc_fast_timed = [nc_fast.decode(seq) for seq in nc_test.sequences]
+        nc_fast_seconds = time.perf_counter() - t0
+
+        nc_ref_labels = [nc_reference.decode(seq) for seq in nc_test.sequences]
+        t0 = time.perf_counter()
+        nc_ref_timed = [nc_reference.decode(seq) for seq in nc_test.sequences]
+        nc_ref_seconds = time.perf_counter() - t0
+        assert nc_fast_timed == nc_fast_labels
+        assert nc_ref_timed == nc_ref_labels
+        nchain_result = PathResult(
+            name="nchain",
+            steps=sum(len(seq) for seq in nc_test.sequences),
+            seconds_reference=nc_ref_seconds,
+            seconds_optimised=nc_fast_seconds,
+            labels_identical=nc_fast_labels == nc_ref_labels,
+        )
 
     return DecodeHotpathResult(
         steps=steps,
@@ -923,4 +1114,7 @@ def decode_hotpath_benchmark(
         seconds_batched=seconds_batched,
         workers=workers,
         labels_identical=fast_labels == ref_labels,
+        nchain=nchain_result,
+        smoother=smoother_result,
+        fanout=fanout,
     )

@@ -9,7 +9,7 @@ model of Augmentation 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -192,9 +192,32 @@ class GaussianEmission:
             mean = np.zeros(self.dim)
         inv, logdet = self._inv_logdet(state)
         diff = x - mean
-        quad = float(diff @ inv @ diff)
+        # The scalar einsum matches the contraction order of the batched
+        # path in log_pdf_rows, keeping per-row and per-batch results
+        # bit-identical.
+        quad = float(np.einsum("i,ij,j->", diff, inv, diff))
         return -0.5 * (self.dim * np.log(2 * np.pi) + logdet + quad)
 
     def log_pdf_many(self, states: Sequence[int], x: np.ndarray) -> np.ndarray:
         """``log_pdf`` for several states against one observation."""
         return np.array([self.log_pdf(int(s), x) for s in states])
+
+    def log_pdf_rows(self, states: Sequence[int], x_rows: np.ndarray) -> np.ndarray:
+        """(T, |states|) log densities for a stacked batch of observations.
+
+        One quadratic-form einsum per state over all rows; each entry is
+        bit-identical to the corresponding :meth:`log_pdf` call.
+        """
+        x_rows = np.atleast_2d(np.asarray(x_rows, dtype=float))
+        states = list(states)
+        out = np.empty((x_rows.shape[0], len(states)))
+        for j, state in enumerate(states):
+            state = int(state)
+            mean = self.means.get(state, self._pooled_mean)
+            if mean is None:
+                mean = np.zeros(self.dim)
+            inv, logdet = self._inv_logdet(state)
+            diffs = x_rows - mean[None, :]
+            quads = np.einsum("ti,ij,tj->t", diffs, inv, diffs)
+            out[:, j] = -0.5 * (self.dim * np.log(2 * np.pi) + logdet + quads)
+        return out

@@ -17,7 +17,7 @@ import numpy as np
 from repro.datasets.trace import Dataset, LabeledSequence
 from repro.models.distributions import Cpt, GaussianEmission, LabelIndex
 from repro.models.inputs import step_features
-from repro.models.viterbi import forward_backward, viterbi_decode
+from repro.models.viterbi import forward_backward
 
 
 @dataclass
@@ -75,25 +75,33 @@ class MacroHmm:
     def _log_emissions(self, seq: LabeledSequence, rid: str) -> np.ndarray:
         features = step_features(seq, rid)
         n_m = len(self.macro_index)
-        out = np.zeros((features.shape[0], n_m))
-        for t in range(features.shape[0]):
-            out[t] = self.emission_.log_pdf_many(range(n_m), features[t])
-        return out
+        if features.shape[0] == 0:
+            return np.zeros((0, n_m))
+        return self.emission_.log_pdf_rows(range(n_m), features)
 
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Viterbi macro labels per resident (chains decoded independently)."""
         from repro.core.api import DecodeStats  # lazy: avoid an import cycle
+        from repro.core.kernels import viterbi_path  # lazy: avoid a cycle
 
         if self.macro_index is None:
             raise RuntimeError("model is not fitted")
         self.last_stats = stats = DecodeStats()
-        n_m = len(self.macro_index)
+        log_prior = np.log(self.prior_)
+        log_trans = np.log(self.trans_)
         out: Dict[str, List[str]] = {}
         for rid in seq.resident_ids:
             log_e = self._log_emissions(seq, rid)
             stats.joint_states += log_e.size
-            stats.transition_entries += max(log_e.shape[0] - 1, 0) * n_m * n_m
-            path, _ = viterbi_decode(np.log(self.prior_), np.log(self.trans_), log_e)
+            if log_e.shape[0] == 0:
+                out[rid] = []
+                continue
+            path = viterbi_path(
+                log_prior + log_e[0],
+                list(log_e),
+                lambda t: log_trans,
+                stats,
+            )
             out[rid] = [self.macro_index.label(i) for i in path]
         stats.steps = len(seq)
         return out
@@ -151,16 +159,41 @@ class _HmmTrellis:
         self.rids: Tuple[str, ...] = (rid,)
         self._log_prior = np.log(model.prior_)
         self._log_trans = np.log(model.trans_)
+        self._rows: Dict[int, np.ndarray] = {}
+
+    def prepare(self, t0: int, t1: int) -> None:
+        """Batch-score the emission rows for steps ``[t0, t1)`` with one
+        stacked quadratic-form evaluation per state (bit-identical to the
+        per-step path ``piece`` falls back to)."""
+        model = self.model
+        n_m = len(model.macro_index)
+        rid = self.rids[0]
+        t1 = min(t1, len(self.seq.steps))
+        todo = [t for t in range(t0, t1) if t not in self._rows]
+        if not todo:
+            return
+        feats = [
+            np.asarray(self.seq.steps[t].observations[rid].features, dtype=float)
+            for t in todo
+        ]
+        if len({x.shape[0] for x in feats}) != 1:
+            return  # ragged feature dims: let piece() score them one by one
+        rows = model.emission_.log_pdf_rows(range(n_m), np.stack(feats))
+        for k, t in enumerate(todo):
+            self._rows[t] = rows[k]
 
     def piece(self, t: int):
         from repro.core.api import TrellisPiece  # lazy: avoid a cycle
 
-        model = self.model
-        n_m = len(model.macro_index)
-        x = np.asarray(
-            self.seq.steps[t].observations[self.rids[0]].features, dtype=float
-        )
-        return TrellisPiece(scores=model.emission_.log_pdf_many(range(n_m), x))
+        scores = self._rows.pop(t, None)
+        if scores is None:
+            model = self.model
+            n_m = len(model.macro_index)
+            x = np.asarray(
+                self.seq.steps[t].observations[self.rids[0]].features, dtype=float
+            )
+            scores = model.emission_.log_pdf_many(range(n_m), x)
+        return TrellisPiece(scores=scores)
 
     def initial_alpha(self, piece) -> np.ndarray:
         return self._log_prior + piece.scores

@@ -50,7 +50,7 @@ class SessionState:
 
     def labels(self) -> Dict[str, List[str]]:
         """Committed labels pivoted per resident."""
-        rids = self.smoother._rids
+        rids = self.smoother.residents
         return {rid: [step[rid] for step in self.committed] for rid in rids}
 
 
@@ -136,6 +136,35 @@ class SessionRouter:
         if labels is not None:
             state.committed.append(labels)
         return labels
+
+    def push_many(
+        self, session_id: str, steps: List[ContextStep]
+    ) -> List[Optional[Dict[str, str]]]:
+        """Consume a batch of steps for *session_id* in one call.
+
+        The whole batch is appended to the session buffer first, so the
+        smoother's trellis adapters batch-build their per-sequence
+        evidence tables across the batch instead of re-dispatching per
+        step.  Returns one entry per pushed step — exactly what
+        step-by-step :meth:`push` would have returned (None entries while
+        the lag window fills).
+        """
+        if not steps:
+            return []
+        state = self._sessions.get(session_id)
+        if state is None:
+            state = self.open_session(
+                session_id, resident_ids=tuple(sorted(steps[0].observations))
+            )
+        else:
+            self._sessions.move_to_end(session_id)
+        t0 = len(state.seq.steps)
+        for step in steps:
+            state.seq.steps.append(step)
+            state.seq.truths.append({})
+        committed = state.smoother.push_many(range(t0, t0 + len(steps)))
+        state.committed.extend(labels for labels in committed if labels is not None)
+        return committed
 
     def close_session(self, session_id: str) -> Dict[str, List[str]]:
         """Flush the lag window, free the session, return all its labels."""

@@ -59,6 +59,7 @@ _HDBN_CONFIG = {
         "unexplained_subloc_penalty",
         "unexplained_room_penalty",
         "soft_exclusion_penalty",
+        "use_sequence_kernels",
     ),
     "nchain": (
         "prune_cross",
@@ -72,6 +73,7 @@ _HDBN_CONFIG = {
         "unexplained_subloc_penalty",
         "unexplained_room_penalty",
         "soft_exclusion_penalty",
+        "use_sequence_kernels",
     ),
     "single_user": (
         "gmm_components",
@@ -80,6 +82,7 @@ _HDBN_CONFIG = {
         "use_feature_gmm",
         "pir_miss_penalty",
         "temporal",
+        "use_sequence_kernels",
     ),
 }
 
@@ -207,6 +210,38 @@ def _model_from_obj(obj: Dict):
     if kind == "macro_hmm":
         return _hmm_from_obj(obj)
     raise ValueError(f"unknown model kind {kind!r} in artifact")
+
+
+# ---------------------------------------------------------------------------
+# bare-model payloads (worker-pool shipping)
+# ---------------------------------------------------------------------------
+
+
+def payload_supported(model) -> bool:
+    """Whether *model* round-trips through the JSON artifact codec.
+
+    Exact-type check on purpose: subclasses (e.g. the reference decoders)
+    may carry state or overrides the codec does not capture, so they must
+    fall back to pickling.
+    """
+    return type(model) in (CoupledHdbn, NChainHdbn, SingleUserHdbn, MacroHmm)
+
+
+def model_to_payload(model) -> bytes:
+    """Serialise a bare fitted model as compact JSON artifact bytes."""
+    obj = {"schema": MODEL_SCHEMA, "model": _model_to_obj(model)}
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def model_from_payload(payload: bytes):
+    """Inverse of :func:`model_to_payload` (derived tables rebuilt)."""
+    obj = json.loads(payload.decode("utf-8"))
+    schema = obj.get("schema")
+    if schema != MODEL_SCHEMA:
+        raise ValueError(
+            f"unsupported model-payload schema {schema!r} (want {MODEL_SCHEMA})"
+        )
+    return _model_from_obj(obj["model"])
 
 
 # ---------------------------------------------------------------------------

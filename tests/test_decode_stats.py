@@ -62,7 +62,9 @@ class TestPrunedCountAccounting:
         monkeypatch.setattr(
             type(fitted),
             "_cross_prune_mask",
-            lambda self, step, c1, c2: np.zeros((len(c1), len(c2)), dtype=bool),
+            lambda self, step, c1, c2, gates=None: np.zeros(
+                (len(c1), len(c2)), dtype=bool
+            ),
         )
         fitted.decode(seq)
         assert fitted.last_stats.pruned_joint_states == 0
@@ -74,7 +76,7 @@ class TestPrunedCountAccounting:
         seq = test.sequences[0].slice(0, 1)
         dropped = {}
 
-        def half_mask(self, step, c1, c2):
+        def half_mask(self, step, c1, c2, gates=None):
             keep = np.ones((len(c1), len(c2)), dtype=bool)
             keep[0, :] = False  # drop every pair involving candidate 0 of u1
             dropped["n"] = int((~keep).sum())

@@ -1,0 +1,250 @@
+"""Sequence-kernel equivalence: batched decode == scalar path == seed.
+
+The sequence-level kernels (``repro.core.kernels``) must be a pure
+speedup: every batched row, gate, and trellis recursion reproduces the
+per-step scalar path bit-for-bit, and the optimised decoders reproduce
+the seed reference decoders' labels and DecodeStats at fixed seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chdbn import CoupledHdbn
+from repro.core.emissions import user_state_emissions
+from repro.core.hdbn import SingleUserHdbn
+from repro.core.kernels import SequenceKernel, viterbi_path
+from repro.core.loosely_coupled import NChainHdbn
+from repro.core.reference import ReferenceCoupledHdbn, ReferenceNChainHdbn
+from repro.datasets import generate_cace_dataset, train_test_split
+from repro.mining import ConstraintMiner, CorrelationMiner
+from repro.models.distributions import GaussianEmission
+from repro.models.hmm import MacroHmm
+from repro.models.inputs import step_features
+from repro.models.viterbi import viterbi_decode
+
+
+@pytest.fixture(scope="module")
+def pair_models(cace_split, constraint_model, rule_set):
+    """(kernels on, kernels off) model pairs per two-resident strategy."""
+    train, _ = cace_split
+
+    def build(cls, **kw):
+        return cls(constraint_model=constraint_model, seed=5, **kw).fit(train)
+
+    return {
+        "ncr": (
+            build(SingleUserHdbn, rule_set=rule_set, temporal=False),
+            build(
+                SingleUserHdbn,
+                rule_set=rule_set,
+                temporal=False,
+                use_sequence_kernels=False,
+            ),
+        ),
+        "ncr_temporal": (
+            build(SingleUserHdbn, rule_set=rule_set, temporal=True),
+            build(
+                SingleUserHdbn,
+                rule_set=rule_set,
+                temporal=True,
+                use_sequence_kernels=False,
+            ),
+        ),
+        "ncs": (
+            build(CoupledHdbn, rule_set=None),
+            build(CoupledHdbn, rule_set=None, use_sequence_kernels=False),
+        ),
+        "c2": (
+            build(CoupledHdbn, rule_set=rule_set),
+            build(CoupledHdbn, rule_set=rule_set, use_sequence_kernels=False),
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def nchain_setup():
+    """(kernels on, kernels off, seed reference, test) for 3 residents."""
+    dataset = generate_cace_dataset(
+        n_homes=1,
+        sessions_per_home=3,
+        duration_s=1200.0,
+        residents_per_home=3,
+        seed=77,
+    )
+    train, test = train_test_split(dataset, 0.67, seed=9)
+    rules = CorrelationMiner(min_support=0.03).mine(train.sequences)
+    cm = ConstraintMiner().fit(
+        train.sequences,
+        train.macro_vocab,
+        train.postural_vocab,
+        train.gestural_vocab,
+        train.subloc_vocab,
+    )
+    fast = NChainHdbn(constraint_model=cm, rule_set=rules, seed=5).fit(train)
+    nokern = NChainHdbn(
+        constraint_model=cm, rule_set=rules, use_sequence_kernels=False, seed=5
+    ).fit(train)
+    reference = ReferenceNChainHdbn(
+        constraint_model=cm, rule_set=rules, seed=5
+    ).fit(train)
+    return fast, nokern, reference, test
+
+
+# ---------------------------------------------------------------------------
+# building blocks
+# ---------------------------------------------------------------------------
+
+
+def test_gaussian_log_pdf_rows_matches_scalar():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(40, 6))
+    states = rng.integers(0, 4, size=40)
+    em = GaussianEmission(dim=6).fit(features, states)
+    rows = em.log_pdf_rows(range(4), features)
+    for t in range(features.shape[0]):
+        assert np.array_equal(rows[t], em.log_pdf_many(range(4), features[t]))
+
+
+def test_viterbi_path_matches_dense_decode():
+    rng = np.random.default_rng(1)
+    t_len, n_states = 25, 7
+    log_prior = np.log(rng.dirichlet(np.ones(n_states)))
+    log_trans = np.log(rng.dirichlet(np.ones(n_states), size=n_states))
+    log_e = rng.normal(size=(t_len, n_states))
+    path, _ = viterbi_decode(log_prior, log_trans, log_e)
+    kernel_path = viterbi_path(
+        log_prior + log_e[0], list(log_e), lambda t: log_trans
+    )
+    assert list(path) == kernel_path
+
+
+def test_gmm_bank_rows_match_per_step(pair_models, cace_split):
+    _, test = cace_split
+    fast, _ = pair_models["c2"]
+    bank = fast._gmm_bank
+    seq = test.sequences[0]
+    rid = seq.resident_ids[0]
+    x_rows = np.stack(
+        [
+            np.asarray(step.observations[rid].features, dtype=float)
+            for step in seq.steps[:30]
+        ]
+    )
+    n_macro = fast.constraint_model.n_macro
+    rows = bank.log_pdf_rows(x_rows, n_macro)
+    for t in range(x_rows.shape[0]):
+        per_step = bank.log_pdfs(x_rows[t])
+        for m in range(n_macro):
+            assert rows[t, m] == per_step.get(m, 0.0)
+
+
+def test_sequence_kernel_emissions_match_scalar(pair_models, cace_split):
+    _, test = cace_split
+    fast, _ = pair_models["c2"]
+    seq = test.sequences[0]
+    kern = SequenceKernel(fast, seq, seq.resident_ids)
+    kern.ensure(0, len(seq))
+    cm = fast.constraint_model
+    rng = np.random.default_rng(3)
+    for t in range(0, len(seq), 7):
+        for rid in seq.resident_ids:
+            m = rng.integers(0, cm.n_macro, size=12)
+            l_idx = rng.integers(0, len(cm.subloc_index), size=12)
+            got = kern.emissions(rid, t, m, l_idx)
+            want = user_state_emissions(fast, seq, rid, t, [], m=m, l=l_idx)
+            assert np.array_equal(got, want)
+
+
+def test_sequence_kernel_batch_size_invariant(pair_models, cace_split):
+    """Growing the tables one step at a time (the streaming regime) gives
+    the same rows as one full-sequence build."""
+    _, test = cace_split
+    fast, _ = pair_models["c2"]
+    seq = test.sequences[0]
+    rid = seq.resident_ids[0]
+    bulk = SequenceKernel(fast, seq, seq.resident_ids)
+    bulk.ensure(0, len(seq))
+    incremental = SequenceKernel(fast, seq, seq.resident_ids)
+    for t in range(len(seq)):
+        incremental.ensure(t, t + 1)
+        assert np.array_equal(
+            bulk._macro_rows[rid][t], incremental._macro_rows[rid][t]
+        )
+        assert np.array_equal(
+            bulk._loc_rows[rid][t], incremental._loc_rows[rid][t]
+        )
+
+
+# ---------------------------------------------------------------------------
+# strategy equivalence: kernels on == kernels off == seed reference
+# ---------------------------------------------------------------------------
+
+
+def _decode_all(model, sequences):
+    out = []
+    for seq in sequences:
+        labels = model.decode(seq)
+        out.append((labels, model.last_stats))
+    return out
+
+
+@pytest.mark.parametrize("name", ["ncr", "ncr_temporal", "ncs", "c2"])
+def test_kernels_match_scalar_path(name, pair_models, cace_split):
+    _, test = cace_split
+    fast, nokern = pair_models[name]
+    assert _decode_all(fast, test.sequences) == _decode_all(nokern, test.sequences)
+    for seq in test.sequences:
+        fast_marg = fast.posterior_marginals(seq)
+        slow_marg = nokern.posterior_marginals(seq)
+        assert set(fast_marg) == set(slow_marg)
+        for rid in fast_marg:
+            assert np.array_equal(fast_marg[rid], slow_marg[rid])
+
+
+def test_nchain_kernels_match_scalar_path(nchain_setup):
+    fast, nokern, _, test = nchain_setup
+    assert _decode_all(fast, test.sequences) == _decode_all(nokern, test.sequences)
+    for seq in test.sequences:
+        fast_marg = fast.posterior_marginals(seq)
+        slow_marg = nokern.posterior_marginals(seq)
+        for rid in fast_marg:
+            assert np.array_equal(fast_marg[rid], slow_marg[rid])
+
+
+def test_coupled_matches_seed_reference(
+    pair_models, cace_split, constraint_model, rule_set
+):
+    train, test = cace_split
+    fast, _ = pair_models["c2"]
+    reference = ReferenceCoupledHdbn(
+        constraint_model=constraint_model, rule_set=rule_set, seed=5
+    ).fit(train)
+    assert _decode_all(fast, test.sequences) == _decode_all(
+        reference, test.sequences
+    )
+
+
+def test_nchain_matches_seed_reference(nchain_setup):
+    fast, _, reference, test = nchain_setup
+    assert _decode_all(fast, test.sequences) == _decode_all(
+        reference, test.sequences
+    )
+
+
+def test_macro_hmm_matches_seed_viterbi(cace_split):
+    """NH: batched emission rows + shared viterbi kernel reproduce the
+    dense seed decode (per-step log_pdf_many + viterbi_decode) exactly."""
+    train, test = cace_split
+    model = MacroHmm().fit(train)
+    n_m = len(model.macro_index)
+    for seq in test.sequences:
+        pred = model.decode(seq)
+        for rid in seq.resident_ids:
+            feats = step_features(seq, rid)
+            log_e = np.array(
+                [model.emission_.log_pdf_many(range(n_m), x) for x in feats]
+            )
+            path, _ = viterbi_decode(
+                np.log(model.prior_), np.log(model.trans_), log_e
+            )
+            assert pred[rid] == [model.macro_index.label(i) for i in path]

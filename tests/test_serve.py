@@ -124,11 +124,72 @@ class TestLifecycle:
             router.open_session("s", resident_ids=("r1", "r2"))
 
 
+class TestPushMany:
+    def test_push_many_equals_step_by_step_push(self, engine, test_seqs):
+        seq = test_seqs[0]
+        lag = 3
+        stepwise = SessionRouter(engine, lag=lag)
+        single = [stepwise.push("s", step) for step in seq.steps]
+        single_final = stepwise.close_session("s")
+        batched_router = SessionRouter(engine, lag=lag)
+        batched = list(batched_router.push_many("s", list(seq.steps[:5])))
+        batched.extend(batched_router.push_many("s", list(seq.steps[5:])))
+        batched_final = batched_router.close_session("s")
+        assert batched == single
+        assert batched_final == single_final
+
+    def test_push_many_empty_batch_is_a_noop(self, engine):
+        router = SessionRouter(engine, lag=1)
+        assert router.push_many("s", []) == []
+        assert "s" not in router
+
+    def test_push_many_auto_opens(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=1)
+        router.push_many("s", list(test_seqs[0].steps[:2]))
+        state = router.session("s")
+        assert state.pushed == 2
+        assert state.seq.resident_ids == tuple(
+            sorted(test_seqs[0].steps[0].observations)
+        )
+
+
 class TestWorkerPoolLifecycle:
     def test_serial_predict_dataset_creates_no_pool(self, engine, cace_split):
         _, test = cace_split
         engine.predict_dataset(test, workers=1)
         assert engine._pool is None
+
+    def test_model_ships_once_per_pool_lifetime(self, engine, cace_split):
+        _, test = cace_split
+        base = engine.model_ship_count_
+        try:
+            first = engine.predict_dataset(test, workers=2)
+            second = engine.predict_dataset(test, workers=2)
+        finally:
+            engine.close()
+        # Two batched calls, one pool: the model was serialised exactly
+        # once (the pool initializer loads it once per worker).
+        assert engine.model_ship_count_ == base + 1
+        assert first == second
+
+    def test_parallel_matches_serial(self, engine, cace_split):
+        _, test = cace_split
+        serial = engine.predict_dataset(test, workers=1)
+        serial_stats = engine.batch_stats_
+        try:
+            parallel = engine.predict_dataset(test, workers=2)
+        finally:
+            engine.close()
+        assert parallel == serial
+        assert engine.batch_stats_ == serial_stats
+
+    def test_workers_clamped_to_session_count(self, engine, cace_split):
+        _, test = cace_split
+        try:
+            engine.predict_dataset(test, workers=32)
+            assert engine._pool_workers == len(test.sequences)
+        finally:
+            engine.close()
 
     def test_close_is_idempotent_and_safe_prefit(self):
         engine = CaceEngine(strategy="c2")
