@@ -17,6 +17,7 @@ from pathlib import Path
 
 from benchmarks.conftest import record
 from repro.eval.experiments import decode_hotpath_benchmark
+from repro.obs import provenance
 
 
 def test_decode_hotpath(benchmark):
@@ -36,7 +37,9 @@ def test_decode_hotpath(benchmark):
     print("\n" + result.render())
     record("decode_hotpath", result.render())
     out = Path(__file__).parents[1] / "BENCH_decode.json"
-    out.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    payload = result.to_dict()
+    payload["provenance"] = provenance()  # wall-clock numbers need context
+    out.write_text(json.dumps(payload, indent=2) + "\n")
     # The kernels must not change any decoded label at the same seed...
     assert result.labels_identical
     assert result.nchain is not None and result.nchain.labels_identical

@@ -1,0 +1,162 @@
+"""Bench: observability overhead — instrumented vs disabled decode.
+
+The obs subsystem promises that enabling metrics + tracing costs < 3% on
+the decode hot paths (off-by-default flags, instrument handles cached at
+construction, per-decode/per-push granularity).  This bench enforces the
+invariant: it fits a c2 engine on a small simulated corpus, then runs
+interleaved min-of-N timing rounds of the same workload with obs fully
+disabled and fully enabled (metrics and tracing), for both offline decode
+and fixed-lag streaming.  The min over rounds discounts scheduler noise
+on shared runners; interleaving the two modes keeps thermal/cache drift
+from biasing either side.
+
+Decoded labels must be bit-identical across modes, and the enabled-mode
+metrics snapshot is written to ``benchmarks/out/metrics.json`` (with run
+provenance) so CI can archive it as a build artifact.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.engine import CaceEngine
+from repro.core.smoother import OnlineSmoother
+from repro.datasets.cace import generate_cace_dataset
+from repro.datasets.trace import train_test_split
+from repro.obs import provenance
+from repro.obs import runtime as obs
+
+
+def _decode_workload(model, sequences):
+    """Offline decode of every session; returns labels for bit-identity."""
+    return [model.decode(seq) for seq in sequences]
+
+
+def _stream_workload(model, sequences, lag):
+    """Fixed-lag streaming of every session through a fresh smoother
+    (fresh per call so instrument handles resolve under the current
+    enable/disable state, as serving would)."""
+    return [OnlineSmoother(model, lag=lag).run(seq) for seq in sequences]
+
+
+def _time_modes(workload, rounds):
+    """Interleaved min-of-N wall-clock for obs-off vs obs-on.
+
+    Returns ``(t_off, t_on, labels_off, labels_on)``; every round runs
+    both modes back to back so slow-machine drift hits them equally.
+    """
+    t_off = float("inf")
+    t_on = float("inf")
+    labels_off = labels_on = None
+    for _ in range(rounds):
+        obs.disable()
+        t0 = time.perf_counter()
+        labels_off = workload()
+        t_off = min(t_off, time.perf_counter() - t0)
+
+        obs.enable(metrics=True, tracing=True)
+        t0 = time.perf_counter()
+        labels_on = workload()
+        t_on = min(t_on, time.perf_counter() - t0)
+    return t_off, t_on, labels_off, labels_on
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.03,
+        help="max allowed fractional overhead (default 0.03 = 3%%)",
+    )
+    # The workload must be big enough that per-run timing noise (easily
+    # a few ms on shared runners) stays well under the 3% budget.
+    parser.add_argument("--rounds", type=int, default=7, help="timing rounds per mode")
+    parser.add_argument("--homes", type=int, default=1)
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=3600.0)
+    parser.add_argument("--lag", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--metrics-out",
+        default=str(Path(__file__).parent / "out" / "metrics.json"),
+        help="where to write the enabled-mode metrics snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = generate_cace_dataset(
+        n_homes=args.homes,
+        sessions_per_home=args.sessions,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    train, test = train_test_split(dataset, 0.5, seed=args.seed)
+    obs.disable()  # fit untimed and uninstrumented
+    engine = CaceEngine(strategy="c2", seed=args.seed).fit(train)
+    model = engine.model_
+    sequences = test.sequences
+
+    failures = []
+    rows = []
+    try:
+        # Warm each path once (lazy imports, memoised candidate lists).
+        _decode_workload(model, sequences[:1])
+        _stream_workload(model, sequences[:1], args.lag)
+
+        workloads = [
+            ("offline_decode", lambda: _decode_workload(model, sequences)),
+            ("stream_lag", lambda: _stream_workload(model, sequences, args.lag)),
+        ]
+        results = {}
+        for name, workload in workloads:
+            t_off, t_on, labels_off, labels_on = _time_modes(workload, args.rounds)
+            overhead = t_on / t_off - 1.0
+            results[name] = {
+                "off_seconds": t_off,
+                "on_seconds": t_on,
+                "overhead_fraction": overhead,
+            }
+            rows.append(
+                f"{name:>16s}: off {t_off:.4f}s  on {t_on:.4f}s  "
+                f"overhead {overhead * 100:+.2f}%"
+            )
+            if labels_off != labels_on:
+                failures.append(f"{name}: labels differ with instrumentation on")
+            if overhead > args.threshold:
+                failures.append(
+                    f"{name}: overhead {overhead * 100:.2f}% exceeds "
+                    f"{args.threshold * 100:.1f}%"
+                )
+
+        # Snapshot the enabled-mode registry (run the workloads once more
+        # against a fresh registry so counts describe exactly one pass).
+        obs.reset()
+        obs.enable(metrics=True, tracing=True)
+        _decode_workload(model, sequences)
+        _stream_workload(model, sequences, args.lag)
+        snapshot = {
+            "results": results,
+            "metrics": obs.get_registry().snapshot(),
+            "trace_roots": len(obs.get_tracer().roots()),
+            "provenance": provenance(),
+        }
+    finally:
+        obs.disable()
+
+    out = Path(args.metrics_out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+    print("\n".join(rows))
+    print(f"metrics snapshot -> {out}")
+    for failure in failures:
+        print(f"OBS OVERHEAD FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,20 @@ ratios unreliable.  The full thresholds (5x c2 serial, 3x N-chain, 3x
 smoother) are asserted by ``bench_decode_hotpath.py`` on dedicated
 hardware.
 
+Results are written provenance-stamped (python/numpy versions, CPU
+count) to ``benchmarks/out/BENCH_decode_smoke.json`` — the smoke
+analogue of the root ``BENCH_decode.json`` — so archived CI numbers say
+what machine produced them.
+
 Run with ``PYTHONPATH=src python benchmarks/smoke_decode.py``.
 """
 
+import json
 import sys
+from pathlib import Path
 
 from repro.eval.experiments import decode_hotpath_benchmark
+from repro.obs import provenance
 
 
 def main() -> int:
@@ -26,6 +34,12 @@ def main() -> int:
         nchain_duration_s=900.0,
     )
     print(result.render())
+    out = Path(__file__).parent / "out" / "BENCH_decode_smoke.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = result.to_dict()
+    payload["provenance"] = provenance()
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
     failures = []
     if not result.labels_identical:
         failures.append("c2 labels diverge from the seed reference")

@@ -26,6 +26,7 @@ Packages
 ``repro.models``    baselines: per-user HMM, coupled HMM, factorial CRF
 ``repro.core``      the CACE contribution: (C)HDBN + pruning + engine
 ``repro.eval``      metrics and per-table/figure experiment drivers
+``repro.obs``       observability: metrics, tracing, provenance (off by default)
 """
 
 from repro.core import CaceEngine, CoupledHdbn, SingleUserHdbn

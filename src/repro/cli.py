@@ -102,6 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument(
         "--lag", type=int, default=4, help="smoothing lag in steps for --stream"
     )
+    rec.add_argument(
+        "--metrics-out",
+        help="enable observability and write a metrics snapshot JSON "
+        "(decode latency histograms, smoother cache hit rate, session "
+        "gauges, run provenance) to this path",
+    )
 
     return parser
 
@@ -198,6 +204,28 @@ def _run_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _derived_metrics(registry) -> dict:
+    """Rates derived from raw counters (matches ``metrics_snapshot``)."""
+    computed = registry.counter("smoother.trans_blocks_computed").value
+    reused = registry.counter("smoother.trans_blocks_reused").value
+    total = computed + reused
+    return {"smoother_trans_cache_hit_rate": (reused / total) if total else 0.0}
+
+
+def _write_metrics_snapshot(path: str, snapshot: dict) -> None:
+    """Write an observability snapshot (plus run provenance) as JSON."""
+    import json
+
+    from repro.obs import provenance
+
+    payload = dict(snapshot)
+    payload["provenance"] = provenance()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote metrics snapshot -> {path}")
+
+
 def _run_serve_artifact(args: argparse.Namespace) -> int:
     """``recognize --model``: evaluate a saved artifact on a whole corpus."""
     from repro.core.engine import CaceEngine
@@ -205,8 +233,13 @@ def _run_serve_artifact(args: argparse.Namespace) -> int:
     from repro.eval.metrics import evaluate_predictions
     from repro.util.serialization import load_dataset
 
+    if args.metrics_out:
+        from repro.obs import runtime as obs_runtime
+
+        obs_runtime.enable(metrics=True)
     dataset = load_dataset(args.corpus)
     engine = CaceEngine.load(args.model)
+    router = None
     if args.stream:
         from repro.serve import SessionRouter
 
@@ -225,6 +258,20 @@ def _run_serve_artifact(args: argparse.Namespace) -> int:
     print(report.render())
     mode = f"streamed (lag={args.lag})" if args.stream else "offline"
     print(f"{mode} with {engine.describe()}")
+    if args.metrics_out:
+        if router is not None:
+            _write_metrics_snapshot(args.metrics_out, router.metrics_snapshot())
+        else:
+            from repro.obs import runtime as obs_runtime
+
+            registry = obs_runtime.get_registry()
+            _write_metrics_snapshot(
+                args.metrics_out,
+                {
+                    "derived": _derived_metrics(registry),
+                    "metrics": registry.snapshot(),
+                },
+            )
     return 0
 
 
@@ -239,6 +286,10 @@ def _run_recognize(args: argparse.Namespace) -> int:
         return 2
     if args.model:
         return _run_serve_artifact(args)
+    if args.metrics_out:
+        from repro.obs import runtime as obs_runtime
+
+        obs_runtime.enable(metrics=True)
     dataset = load_dataset(args.corpus)
     rng = ensure_rng(args.seed)
     train, test = train_test_split(
@@ -252,6 +303,14 @@ def _run_recognize(args: argparse.Namespace) -> int:
         f"build {engine.build_seconds:.2f}s, decode {engine.decode_seconds:.2f}s "
         f"({args.strategy} on {len(test.sequences)} test sequences)"
     )
+    if args.metrics_out:
+        from repro.obs import runtime as obs_runtime
+
+        registry = obs_runtime.get_registry()
+        _write_metrics_snapshot(
+            args.metrics_out,
+            {"derived": _derived_metrics(registry), "metrics": registry.snapshot()},
+        )
     return 0
 
 

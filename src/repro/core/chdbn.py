@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.api import DecodeStats, TrellisPiece, make_step_filter
 from repro.core.emissions import ObjectEvidenceTable, user_state_emissions
+from repro.obs import runtime as obs
 from repro.core.kernels import (
     SequenceKernel,
     _lse,
@@ -716,6 +717,15 @@ class CoupledHdbn:
 
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Joint Viterbi macro labels per resident."""
+        with obs.timed_span(
+            "decode",
+            metric="decode.coupled.seconds",
+            counts={"decode.coupled.steps": len(seq)},
+            family="coupled",
+        ):
+            return self._decode(seq)
+
+    def _decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         rids, per_step = self._prepare(seq)
         cm = self.constraint_model
 
@@ -731,7 +741,12 @@ class CoupledHdbn:
         def transition(t: int) -> np.ndarray:
             return self._transition_block(per_step[t - 1][5], per_step[t][5])
 
-        path = viterbi_path(log_prior + scores, per_scores, transition, self.last_stats)
+        with obs.timed_span(
+            "trellis_sweep", metric="decode.coupled.sweep_seconds", family="coupled"
+        ):
+            path = viterbi_path(
+                log_prior + scores, per_scores, transition, self.last_stats
+            )
 
         out1: List[str] = []
         out2: List[str] = []

@@ -17,6 +17,7 @@ frame-wise posteriors, so ROC/PRC sweeps cover all four.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -32,6 +33,7 @@ from repro.datasets.trace import Dataset, LabeledSequence
 from repro.mining.constraint_miner import ConstraintMiner
 from repro.mining.correlation_miner import CorrelationMiner, CorrelationRuleSet
 from repro.models.hmm import MacroHmm
+from repro.obs import runtime as obs
 from repro.util.rng import RandomState, ensure_rng
 from repro.util.timer import Stopwatch
 
@@ -61,13 +63,16 @@ def _init_worker(payload: bytes, codec: str) -> None:
 
 def _decode_session(item: Tuple[str, LabeledSequence]):
     """Worker body for batched decoding: one session against the
-    worker-resident model.  Returns a ``(key, predictions, DecodeStats)``
-    triple; submitting sessions one at a time gives dynamic scheduling
-    (fast workers pick up the next session instead of idling behind a
+    worker-resident model.  Returns a ``(key, predictions, DecodeStats,
+    decode_seconds)`` tuple — the in-worker wall-clock lets the parent
+    split a future's turnaround into decode time vs queue wait.
+    Submitting sessions one at a time gives dynamic scheduling (fast
+    workers pick up the next session instead of idling behind a
     pre-assigned chunk)."""
     key, seq = item
+    t0 = time.perf_counter()
     pred = _WORKER_MODEL.decode(seq)
-    return key, pred, _WORKER_MODEL.last_stats
+    return key, pred, _WORKER_MODEL.last_stats, time.perf_counter() - t0
 
 
 @dataclass
@@ -208,26 +213,58 @@ class CaceEngine:
         ]
         self.batch_stats_ = DecodeStats()
         out: Dict[str, Dict[str, List[str]]] = {}
+        # Resolved per call (cheap: once per dataset, not per step) so an
+        # engine built before obs.enable() still reports.
+        reg = obs.registry_if_enabled()
+        h_decode = reg.histogram("engine.decode_seconds") if reg else None
+        h_wait = reg.histogram("engine.queue_wait_seconds") if reg else None
+        c_sessions = reg.counter("engine.sessions_decoded") if reg else None
         if workers <= 1 or len(items) <= 1:
             # Serial path: no worker pool is created (or touched) at all.
-            for key, seq in items:
-                out[key] = self.predict(seq)
-                stats = self.model_.last_stats
-                if stats is not None:
-                    self.batch_stats_.merge(stats)
+            with obs.span("engine.predict_dataset", sessions=len(items), workers=1):
+                for key, seq in items:
+                    t0 = time.perf_counter()
+                    out[key] = self.predict(seq)
+                    if h_decode is not None:
+                        h_decode.observe(time.perf_counter() - t0)
+                        c_sessions.inc()
+                    stats = self.model_.last_stats
+                    if stats is not None:
+                        self.batch_stats_.merge(stats)
             return out
 
         workers = min(workers, len(items))
         pool = self._worker_pool(workers)
-        with self.stopwatch.phase("decode"):
+        with obs.span(
+            "engine.predict_dataset", sessions=len(items), workers=workers
+        ), self.stopwatch.phase("decode"):
             # One future per session: dynamic scheduling across workers
             # (results are collected in submission order for determinism).
-            futures = [pool.submit(_decode_session, item) for item in items]
+            futures = []
+            submit_at: Dict[object, float] = {}
+            done_at: Dict[object, float] = {}
+            for item in items:
+                future = pool.submit(_decode_session, item)
+                submit_at[future] = time.perf_counter()
+                if h_wait is not None:
+                    # Completion wall-clock captured the moment the result
+                    # lands, not when we get around to draining it below.
+                    future.add_done_callback(
+                        lambda f: done_at.__setitem__(f, time.perf_counter())
+                    )
+                futures.append(future)
             for future in futures:
-                key, pred, stats = future.result()
+                key, pred, stats, decode_s = future.result()
                 out[key] = pred
                 if stats is not None:
                     self.batch_stats_.merge(stats)
+                if h_decode is not None:
+                    h_decode.observe(decode_s)
+                    c_sessions.inc()
+                    turnaround = (
+                        done_at.get(future, time.perf_counter()) - submit_at[future]
+                    )
+                    h_wait.observe(max(turnaround - decode_s, 0.0))
         return out
 
     def _worker_pool(self, workers: int):
@@ -251,6 +288,9 @@ class CaceEngine:
             )
             self._pool_workers = workers
             self._pool_model_ref = self.model_
+            reg = obs.registry_if_enabled()
+            if reg is not None:
+                reg.gauge("engine.pool_workers").set(workers)
         return self._pool
 
     def _model_payload(self) -> Tuple[bytes, str]:
@@ -261,6 +301,9 @@ class CaceEngine:
         )
 
         self.model_ship_count_ += 1
+        reg = obs.registry_if_enabled()
+        if reg is not None:
+            reg.counter("engine.model_ships").inc()
         if payload_supported(self.model_):
             return model_to_payload(self.model_), "artifact"
         import pickle

@@ -24,6 +24,7 @@ from repro.core.kernels import (
 )
 from repro.core.rule_kernel import CompiledRules, SingleRulePruner
 from repro.core.state_space import StateSpaceBuilder
+from repro.obs import runtime as obs
 from repro.datasets.trace import Dataset, LabeledSequence
 from repro.mining.constraint_miner import ConstraintModel
 from repro.mining.correlation_miner import CorrelationRuleSet
@@ -171,20 +172,31 @@ class SingleUserHdbn:
             pm, pl = per_step[t - 1][2], per_step[t - 1][3]
             return self._chain_block(pm, pl, per_step[t][2], per_step[t][3])
 
-        path = viterbi_path(initial, per_scores, transition, self.last_stats)
+        with obs.timed_span(
+            "trellis_sweep",
+            metric="decode.single_user.sweep_seconds",
+            family="single_user",
+        ):
+            path = viterbi_path(initial, per_scores, transition, self.last_stats)
         return [per_step[t][0][j].macro for t, j in enumerate(path)]
 
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Decode every resident independently (no coupling)."""
-        self.last_stats = DecodeStats()
-        kern = self._make_kernel(seq, tuple(seq.resident_ids))
-        if kern is not None:
-            kern.ensure(0, len(seq))
-        out = {rid: self.decode_user(seq, rid, kern) for rid in seq.resident_ids}
-        # One trellis step per time step, however many chains it spans
-        # (matching the coupled models' accounting).
-        self.last_stats.steps = len(seq)
-        return out
+        with obs.timed_span(
+            "decode",
+            metric="decode.single_user.seconds",
+            counts={"decode.single_user.steps": len(seq)},
+            family="single_user",
+        ):
+            self.last_stats = DecodeStats()
+            kern = self._make_kernel(seq, tuple(seq.resident_ids))
+            if kern is not None:
+                kern.ensure(0, len(seq))
+            out = {rid: self.decode_user(seq, rid, kern) for rid in seq.resident_ids}
+            # One trellis step per time step, however many chains it spans
+            # (matching the coupled models' accounting).
+            self.last_stats.steps = len(seq)
+            return out
 
     # -- Recognizer surface --------------------------------------------------------
 

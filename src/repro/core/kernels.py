@@ -29,6 +29,7 @@ contractions the scalar path dispatches.  Equivalence against
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.core.state_space import _ROOM_OF
 from repro.datasets.trace import LabeledSequence
 from repro.home.layout import SUB_REGIONS
 from repro.models.chmm import LOCATION_KERNEL_SIGMA_M
+from repro.obs import runtime as _obs
 
 _MEMO_LIMIT = 8192
 
@@ -149,6 +151,11 @@ class SequenceKernel:
                 dtype=object,
             )
         self._room_of_l = room_of_l
+        # Observability handles are resolved once per kernel; None when
+        # metrics are off, so the hot path pays one pointer check.
+        reg = _obs.registry_if_enabled()
+        self._h_prepare = reg.histogram("kernel.prepare_seconds") if reg else None
+        self._c_built = reg.counter("kernel.steps_built") if reg else None
         self._built = 0
         self._step_items: List[StepItems] = []
         self._pir_masks: List[Optional[np.ndarray]] = []
@@ -173,6 +180,18 @@ class SequenceKernel:
         start = self._built
         if t1 <= start:
             return
+        if self._h_prepare is None and not _obs.tracing_enabled():
+            self._build(start, t1)
+            return
+        with _obs.span("kernel.prepare", t0=start, t1=t1):
+            tb = time.perf_counter()
+            self._build(start, t1)
+        if self._h_prepare is not None:
+            self._h_prepare.observe(time.perf_counter() - tb)
+            self._c_built.inc(t1 - start)
+
+    def _build(self, start: int, t1: int) -> None:
+        """Extend every per-sequence table from ``start`` to ``t1``."""
         steps = self.seq.steps[start:t1]
         single = getattr(self.model, "_single_pruner", None)
 

@@ -51,6 +51,7 @@ from repro.core.rule_kernel import (
 )
 from repro.core.state_space import CandidateSet, StateSpaceBuilder
 from repro.datasets.trace import Dataset, LabeledSequence
+from repro.obs import runtime as obs
 from repro.mining.constraint_miner import ConstraintModel
 from repro.mining.correlation_miner import CorrelationRuleSet
 from repro.util.rng import RandomState, ensure_rng
@@ -327,6 +328,15 @@ class NChainHdbn:
 
     def decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Joint Viterbi macro labels for every resident."""
+        with obs.timed_span(
+            "decode",
+            metric="decode.nchain.seconds",
+            counts={"decode.nchain.steps": len(seq)},
+            family="nchain",
+        ):
+            return self._decode(seq)
+
+    def _decode(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         rids, per_step = self._prepare(seq)
         cm = self.constraint_model
 
@@ -341,7 +351,10 @@ class NChainHdbn:
         def transition(t: int) -> np.ndarray:
             return self._transition_block(per_step[t - 1][3], per_step[t][3])
 
-        path = viterbi_path(initial, per_scores, transition, self.last_stats)
+        with obs.timed_span(
+            "trellis_sweep", metric="decode.nchain.sweep_seconds", family="nchain"
+        ):
+            path = viterbi_path(initial, per_scores, transition, self.last_stats)
 
         out: Dict[str, List[str]] = {rid: [] for rid in rids}
         for t, j in enumerate(path):

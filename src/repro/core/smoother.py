@@ -25,6 +25,7 @@ streaming overhead reports match the Fig 11 metrics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,34 @@ import numpy as np
 
 from repro.core.api import DecodeStats, Recognizer, TrellisPiece, TrellisSession
 from repro.core.kernels import _lse
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+
+
+class _Instruments:
+    """Cached obs handles for one smoother (resolved once per session).
+
+    Shared instrument objects aggregate across every smoother wired to the
+    same registry (e.g. all of a router's sessions); per-session isolation
+    stays in each smoother's own :class:`DecodeStats`.
+    """
+
+    __slots__ = (
+        "push_seconds",
+        "sweep_seconds",
+        "steps",
+        "commits",
+        "trans_computed",
+        "trans_reused",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.push_seconds = reg.histogram("smoother.push_seconds")
+        self.sweep_seconds = reg.histogram("smoother.sweep_seconds")
+        self.steps = reg.counter("smoother.steps")
+        self.commits = reg.counter("smoother.commits")
+        self.trans_computed = reg.counter("smoother.trans_blocks_computed")
+        self.trans_reused = reg.counter("smoother.trans_blocks_reused")
 
 
 @dataclass
@@ -49,9 +78,14 @@ class OnlineSmoother:
 
     model: Recognizer
     lag: int = 4
+    #: Metrics destination.  ``None`` uses the process-wide registry when
+    #: observability is enabled (else no instrumentation at all); the
+    #: serving router passes its own registry explicitly.
+    metrics: Optional[MetricsRegistry] = None
     #: Per-session work accounting (the streaming analogue of the model's
     #: ``last_stats`` after an offline decode).
     stats: DecodeStats = field(default_factory=DecodeStats, init=False)
+    _ins: Optional[_Instruments] = field(default=None, init=False, repr=False)
     _sessions: Optional[List[TrellisSession]] = field(default=None, init=False, repr=False)
     _rids: Tuple[str, ...] = field(default=(), init=False)
     _pieces: List[List[TrellisPiece]] = field(default_factory=list, init=False, repr=False)
@@ -86,6 +120,8 @@ class OnlineSmoother:
         self._committed = 0
         self.stats = DecodeStats()
         self.model.last_stats = self.stats
+        reg = self.metrics if self.metrics is not None else obs.registry_if_enabled()
+        self._ins = _Instruments(reg) if reg is not None else None
 
     # -- incremental consumption -------------------------------------------------
 
@@ -105,6 +141,8 @@ class OnlineSmoother:
         # over a shared model must each hit their own counters.
         stats = self.stats
         self.model.last_stats = stats
+        ins = self._ins
+        t_push = time.perf_counter() if ins is not None else 0.0
         for k, sess in enumerate(self._sessions):
             piece = sess.piece(t)
             self._pieces[k].append(piece)
@@ -117,6 +155,8 @@ class OnlineSmoother:
                 alpha = sess.initial_alpha(piece)
             else:
                 stats.transition_entries += log_t.size
+                if ins is not None:
+                    ins.trans_computed.inc()
                 alpha = piece.scores + _lse(
                     self._alphas[k][-1][:, None] + log_t, axis=0
                 )
@@ -126,9 +166,15 @@ class OnlineSmoother:
 
         commit_t = t - self.lag
         if commit_t < 0:
+            if ins is not None:
+                ins.steps.inc()
+                ins.push_seconds.observe(time.perf_counter() - t_push)
             return None
         labels = self._smooth_at(commit_t, t)
         self._committed = commit_t + 1
+        if ins is not None:
+            ins.steps.inc()
+            ins.push_seconds.observe(time.perf_counter() - t_push)
         return labels
 
     def push_many(self, ts: Sequence[int]) -> List[Optional[Dict[str, str]]]:
@@ -176,22 +222,36 @@ class OnlineSmoother:
 
     def _smooth_at(self, commit_t: int, horizon: int) -> Dict[str, str]:
         """Argmax smoothed macro per resident for *commit_t* given steps
-        up to *horizon*."""
-        out: Dict[str, str] = {}
-        for k, sess in enumerate(self._sessions):
-            pieces = self._pieces[k]
-            beta = np.zeros_like(self._alphas[k][horizon])
-            for t in range(horizon - 1, commit_t - 1, -1):
-                nxt = pieces[t + 1]
-                log_t = self._trans[k][t + 1]
-                if log_t is None:
-                    # Frame-wise chain: future evidence is independent of
-                    # the committed step.
-                    beta = np.zeros(len(pieces[t]))
-                    continue
-                beta = _lse(log_t + (nxt.scores + beta)[None, :], axis=1)
+        up to *horizon*.
 
-            log_gamma = self._alphas[k][commit_t] + beta
-            log_gamma = log_gamma - _lse(log_gamma, axis=0)
-            out.update(sess.labels(pieces[commit_t], np.exp(log_gamma)))
+        The backward sweep reuses the transition blocks stored at push
+        time (``_trans``); every reuse counts as a cache hit against the
+        push-time computations (``smoother.trans_blocks_computed``)."""
+        ins = self._ins
+        t_sweep = time.perf_counter() if ins is not None else 0.0
+        reused = 0
+        out: Dict[str, str] = {}
+        with obs.span("smoother.backward", commit_t=commit_t, horizon=horizon):
+            for k, sess in enumerate(self._sessions):
+                pieces = self._pieces[k]
+                beta = np.zeros_like(self._alphas[k][horizon])
+                for t in range(horizon - 1, commit_t - 1, -1):
+                    nxt = pieces[t + 1]
+                    log_t = self._trans[k][t + 1]
+                    if log_t is None:
+                        # Frame-wise chain: future evidence is independent of
+                        # the committed step.
+                        beta = np.zeros(len(pieces[t]))
+                        continue
+                    reused += 1
+                    beta = _lse(log_t + (nxt.scores + beta)[None, :], axis=1)
+
+                log_gamma = self._alphas[k][commit_t] + beta
+                log_gamma = log_gamma - _lse(log_gamma, axis=0)
+                out.update(sess.labels(pieces[commit_t], np.exp(log_gamma)))
+        if ins is not None:
+            ins.commits.inc()
+            if reused:
+                ins.trans_reused.inc(reused)
+            ins.sweep_seconds.observe(time.perf_counter() - t_sweep)
         return out

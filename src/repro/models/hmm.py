@@ -10,7 +10,7 @@ macro state space with frame features directly labelled by macro activity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,28 +83,36 @@ class MacroHmm:
         """Viterbi macro labels per resident (chains decoded independently)."""
         from repro.core.api import DecodeStats  # lazy: avoid an import cycle
         from repro.core.kernels import viterbi_path  # lazy: avoid a cycle
+        from repro.obs import runtime as obs  # lazy: avoid a cycle
 
         if self.macro_index is None:
             raise RuntimeError("model is not fitted")
-        self.last_stats = stats = DecodeStats()
-        log_prior = np.log(self.prior_)
-        log_trans = np.log(self.trans_)
-        out: Dict[str, List[str]] = {}
-        for rid in seq.resident_ids:
-            log_e = self._log_emissions(seq, rid)
-            stats.joint_states += log_e.size
-            if log_e.shape[0] == 0:
-                out[rid] = []
-                continue
-            path = viterbi_path(
-                log_prior + log_e[0],
-                list(log_e),
-                lambda t: log_trans,
-                stats,
-            )
-            out[rid] = [self.macro_index.label(i) for i in path]
-        stats.steps = len(seq)
-        return out
+        with obs.timed_span(
+            "decode",
+            metric="decode.macro_hmm.seconds",
+            counts={"decode.macro_hmm.steps": len(seq)},
+            family="macro_hmm",
+        ):
+            self.last_stats = stats = DecodeStats()
+            log_prior = np.log(self.prior_)
+            log_trans = np.log(self.trans_)
+            out: Dict[str, List[str]] = {}
+            for rid in seq.resident_ids:
+                log_e = self._log_emissions(seq, rid)
+                stats.joint_states += log_e.size
+                if log_e.shape[0] == 0:
+                    out[rid] = []
+                    continue
+                with obs.span("trellis_sweep", family="macro_hmm", rid=rid):
+                    path = viterbi_path(
+                        log_prior + log_e[0],
+                        list(log_e),
+                        lambda t: log_trans,
+                        stats,
+                    )
+                out[rid] = [self.macro_index.label(i) for i in path]
+            stats.steps = len(seq)
+            return out
 
     def predict(self, seq: LabeledSequence) -> Dict[str, List[str]]:
         """Alias of :meth:`decode` (the baseline's historical name)."""

@@ -1,0 +1,56 @@
+"""Observability: metrics, tracing, and provenance for the serving stack.
+
+The paper reports computational overhead as a first-class result
+(Fig 11b); this package makes the reproduction's runtime continuously
+measurable — per-family decode latency, smoother lag-window cost,
+serving-session churn — instead of bench-only.  See the README's
+"Observability" section for the metrics schema and exposition formats.
+
+Everything is off by default and the disabled hot path costs a pointer
+check; ``benchmarks/bench_obs_overhead.py`` asserts the <3%
+instrumented-vs-off decode overhead invariant.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.provenance import provenance
+from repro.obs.runtime import (
+    disable,
+    enable,
+    get_registry,
+    get_tracer,
+    metrics_enabled,
+    registry_if_enabled,
+    reset,
+    span,
+    timed_span,
+    tracing_enabled,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_registry",
+    "get_tracer",
+    "metrics_enabled",
+    "provenance",
+    "registry_if_enabled",
+    "reset",
+    "span",
+    "timed_span",
+    "tracing_enabled",
+]

@@ -1,0 +1,312 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The paper reports computational overhead (model-build time, Fig 11b) as a
+first-class result; a production serving deployment needs the same
+numbers *continuously* — serving latency, smoother lag-window cost,
+eviction churn, per-family decode time.  :class:`MetricsRegistry` is the
+process-local store those numbers land in: thread-safe, no third-party
+dependencies, exported as plain JSON (:meth:`MetricsRegistry.snapshot`)
+or Prometheus-style text exposition
+(:meth:`MetricsRegistry.render_prometheus`).
+
+Instruments are get-or-create by dotted name (``router.push_seconds``),
+so every call site can grab its handle without coordination; named-scope
+child registries (:meth:`MetricsRegistry.scope`) share the parent's
+storage under a dotted prefix, which is how the serving layer nests the
+smoother's instruments under its own snapshot.
+
+Latency histograms use fixed bucket upper bounds; p50/p95/p99 summaries
+are estimated by linear interpolation of the cumulative bucket counts,
+clamped to the observed min/max — exact enough for dashboards while
+keeping ``observe`` O(log buckets) with no sample retention.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default latency bucket upper bounds, in seconds (an implicit +inf
+#: bucket catches the tail).  Geometric 1-2.5-5 ladder from 50 us to 30 s:
+#: decode steps live in the 0.1-10 ms range, batched sessions in seconds.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, steps, cache hits)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (>= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_dict(self) -> Dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Point-in-time value (active sessions, pool workers)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with p50/p95/p99 summaries.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in an implicit +inf bucket.  Only per-bucket counts,
+    count/sum and min/max are retained — no samples.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_LATENCY_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        i = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[i] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the block's wall-clock seconds."""
+        return _HistogramTimer(self)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated *q*-quantile (``0 < q < 1``) by linear interpolation
+        of the cumulative bucket counts, clamped to the observed range."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self._counts):
+            if c == 0:
+                continue
+            if cum + c >= rank:
+                lo = self.buckets[i - 1] if i > 0 else min(self.min, self.buckets[0])
+                hi = self.buckets[i] if i < len(self.buckets) else self.max
+                frac = (rank - cum) / c
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+            cum += c
+        return self.max
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs (Prometheus ``le``)."""
+        out: List[Tuple[float, int]] = []
+        cum = 0
+        for bound, c in zip(self.buckets, self._counts):
+            cum += c
+            out.append((bound, cum))
+        out.append((float("inf"), self.count))
+        return out
+
+    def summary(self) -> Dict:
+        """count / sum / mean / min / max / p50 / p95 / p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def to_dict(self) -> Dict:
+        out = {"type": "histogram"}
+        out.update(self.summary())
+        return out
+
+
+class _HistogramTimer:
+    """``with hist.time():`` — observes the block's elapsed seconds."""
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+
+    def __enter__(self) -> "_HistogramTimer":
+        import time
+
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        import time
+
+        self._hist.observe(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Thread-safe instrument store with named-scope child views.
+
+    The root registry owns the instrument table; :meth:`scope` returns a
+    child view that prefixes every name with ``<scope>.`` and whose
+    :meth:`snapshot` covers only its own subtree.  Instruments are
+    get-or-create: asking for an existing name with a different
+    instrument type raises.
+    """
+
+    def __init__(self, prefix: str = "", _root: Optional["MetricsRegistry"] = None):
+        self.prefix = prefix
+        if _root is None:
+            self._instruments: Dict[str, object] = {}
+            self._lock = threading.Lock()
+            self._root = self
+        else:
+            self._root = _root
+            self._instruments = _root._instruments
+            self._lock = _root._lock
+
+    # -- instrument access ---------------------------------------------------------
+
+    def _full(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def _get_or_create(self, name: str, cls, *args):
+        full = self._full(name)
+        with self._lock:
+            inst = self._instruments.get(full)
+            if inst is None:
+                inst = cls(full, *args)
+                self._instruments[full] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {full!r} is a {type(inst).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def scope(self, name: str) -> "MetricsRegistry":
+        """Child registry view under ``<prefix>.<name>.`` sharing storage."""
+        return MetricsRegistry(self._full(name), _root=self._root)
+
+    def reset(self) -> None:
+        """Drop every instrument in this registry's subtree."""
+        want = f"{self.prefix}." if self.prefix else ""
+        with self._lock:
+            for key in [k for k in self._instruments if k.startswith(want)]:
+                del self._instruments[key]
+
+    # -- exposition ----------------------------------------------------------------
+
+    def _subtree(self) -> List[Tuple[str, object]]:
+        want = f"{self.prefix}." if self.prefix else ""
+        with self._lock:
+            items = [(k, v) for k, v in self._instruments.items() if k.startswith(want)]
+        return sorted(items)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Flat ``{name: {type, ...values...}}`` dict of this subtree."""
+        return {name: inst.to_dict() for name, inst in self._subtree()}
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON exposition of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition (counters, gauges, histograms)."""
+        lines: List[str] = []
+        for name, inst in self._subtree():
+            metric = f"{namespace}_{name}".replace(".", "_").replace("-", "_")
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}_total {inst.value}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_fmt(inst.value)}")
+            elif isinstance(inst, Histogram):
+                lines.append(f"# TYPE {metric} histogram")
+                for bound, cum in inst.bucket_counts():
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    lines.append(f'{metric}_bucket{{le="{le}"}} {cum}')
+                lines.append(f"{metric}_sum {_fmt(inst.sum)}")
+                lines.append(f"{metric}_count {inst.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly float rendering (no trailing zeros noise)."""
+    return repr(float(value))

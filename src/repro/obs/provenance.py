@@ -1,0 +1,35 @@
+"""Wall-clock provenance for benchmark and metrics artifacts.
+
+Throughput and latency numbers are only comparable across runs when the
+machine that produced them is recorded next to them; ``BENCH_decode.json``
+and ``--metrics-out`` snapshots embed this stamp so trajectory
+comparisons across machines stay interpretable.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from typing import Dict
+
+
+def provenance() -> Dict[str, object]:
+    """Interpreter, library, and machine facts for result artifacts."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep everywhere else
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv and sys.argv[0] else None,
+    }

@@ -1,0 +1,134 @@
+"""Process-wide observability switchboard.
+
+Instrumented call sites throughout the stack (engine, kernels, smoother,
+serving) resolve their instruments through this module so observability
+is one switch, not a constructor argument threaded through every layer:
+
+* :func:`enable` / :func:`disable` flip metrics and tracing for the
+  process; both default to **off**, and every instrumented hot path
+  guards on that flag (a cached ``None`` handle or the shared
+  :data:`~repro.obs.tracing.NULL_SPAN`), so the uninstrumented cost is a
+  pointer check — the <3% decode-overhead invariant asserted by
+  ``benchmarks/bench_obs_overhead.py``.
+* :func:`registry_if_enabled` is what components call at construction to
+  cache instrument handles (or ``None``).
+* :func:`span` / :func:`timed_span` are the call-site helpers: a tracer
+  span when tracing is on, plus (for ``timed_span``) a latency histogram
+  observation and counter increments when metrics are on.
+
+Explicit :class:`~repro.obs.metrics.MetricsRegistry` instances can still
+be handed to components that accept one (e.g. ``SessionRouter``); the
+globals here are the default wiring, not the only wiring.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+_METRICS_ON = False
+_TRACING_ON = False
+
+
+def enable(metrics: bool = True, tracing: bool = False) -> None:
+    """Turn process-wide observability on (idempotent)."""
+    global _METRICS_ON, _TRACING_ON
+    _METRICS_ON = bool(metrics)
+    _TRACING_ON = bool(tracing)
+
+
+def disable() -> None:
+    """Turn both metrics and tracing off (instruments keep their values)."""
+    global _METRICS_ON, _TRACING_ON
+    _METRICS_ON = False
+    _TRACING_ON = False
+
+
+def metrics_enabled() -> bool:
+    return _METRICS_ON
+
+
+def tracing_enabled() -> bool:
+    return _TRACING_ON
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (valid regardless of the enabled flag)."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (valid regardless of the enabled flag)."""
+    return _TRACER
+
+
+def registry_if_enabled() -> Optional[MetricsRegistry]:
+    """The global registry when metrics are on, else ``None`` — the hook
+    components use to cache instrument handles exactly once."""
+    return _REGISTRY if _METRICS_ON else None
+
+
+def reset() -> None:
+    """Clear collected metrics and spans (tests, CLI runs)."""
+    _REGISTRY.reset()
+    _TRACER.reset()
+
+
+def span(name: str, **attrs):
+    """A tracer span when tracing is on, the shared no-op otherwise."""
+    if not _TRACING_ON:
+        return NULL_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+class _TimedSpan:
+    """Span + histogram + counters for one instrumented block."""
+
+    __slots__ = ("_span_cm", "_hist", "_counts", "_t0")
+
+    def __init__(self, span_cm, hist, counts) -> None:
+        self._span_cm = span_cm
+        self._hist = hist
+        self._counts = counts
+
+    def __enter__(self) -> "_TimedSpan":
+        if self._span_cm is not None:
+            self._span_cm.__enter__()
+        if self._hist is not None:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._hist is not None:
+            self._hist.observe(time.perf_counter() - self._t0)
+        for counter, n in self._counts:
+            counter.inc(n)
+        if self._span_cm is not None:
+            self._span_cm.__exit__(*exc)
+
+
+def timed_span(
+    name: str,
+    metric: Optional[str] = None,
+    counts: Optional[Dict[str, int]] = None,
+    **attrs,
+):
+    """Instrument a block: tracer span (when tracing), latency histogram
+    observation into *metric* and counter increments from *counts* (when
+    metrics).  Returns the shared no-op when everything is off."""
+    metrics_on = _METRICS_ON
+    if not _TRACING_ON and not metrics_on:
+        return NULL_SPAN
+    span_cm = _TRACER.span(name, **attrs) if _TRACING_ON else None
+    hist = _REGISTRY.histogram(metric) if (metrics_on and metric) else None
+    counters = (
+        [(_REGISTRY.counter(cn), n) for cn, n in counts.items()]
+        if (metrics_on and counts)
+        else ()
+    )
+    return _TimedSpan(span_cm, hist, counters)

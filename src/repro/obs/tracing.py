@@ -1,0 +1,139 @@
+"""Lightweight nested-span tracing for the decode hot path.
+
+A :class:`Tracer` records wall-clock spans (decode, kernel ``prepare``,
+trellis sweep, smoother backward pass) as a tree per thread; finished
+root spans land in a bounded ring buffer for inspection or JSON export.
+
+Tracing is off by default and the disabled path is engineered to cost
+~nothing: :data:`NULL_SPAN` is one shared context manager whose
+``__enter__``/``__exit__`` do no work, so an instrumented call site pays
+a flag check and nothing else (the <3% instrumentation-overhead
+invariant is asserted by ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed region; children are spans opened while it was active."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict] = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: List["Span"] = []
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"name": self.name, "duration_s": self.duration}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: The single no-op instance every disabled call site shares.
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager pushing/popping one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects nested spans per thread; finished roots in a ring buffer.
+
+    Parameters
+    ----------
+    max_roots:
+        Bound on retained finished root spans (oldest evicted first), so
+        a long-running server can leave tracing on without growing
+        memory unboundedly.
+    """
+
+    def __init__(self, max_roots: int = 256) -> None:
+        self._roots: Deque[Span] = deque(maxlen=max_roots)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a span; nests under the thread's active span, if any."""
+        return _ActiveSpan(self, Span(name, attrs or None))
+
+    # -- stack maintenance ---------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        span.start = time.perf_counter()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration = time.perf_counter() - span.start
+        stack = self._stack()
+        # Tolerate exotic unwind orders: pop through to our own span.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def to_dict(self) -> List[Dict]:
+        """JSON-ready list of finished root span trees."""
+        return [span.to_dict() for span in self.roots()]
+
+    def reset(self) -> None:
+        """Drop all finished roots (active stacks are left alone)."""
+        with self._lock:
+            self._roots.clear()

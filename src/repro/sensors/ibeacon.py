@@ -153,9 +153,12 @@ def trilaterate(
     weights = 1.0 / (distances + 0.5) ** 2
     for _ in range(gauss_newton_iters):
         deltas = estimate[None, :] - anchors  # (n, 2)
-        ranges = np.maximum(np.linalg.norm(deltas, axis=1), 1e-6)
+        ranges = np.linalg.norm(deltas, axis=1)
         residuals = ranges - distances
-        jacobian = deltas / ranges[:, None]  # d|x-a|/dx
+        # Clamp only the Jacobian denominator: an estimate sitting on an
+        # anchor has no usable direction (row -> 0), but its residual must
+        # stay exact or the clamp itself drags the optimum off target.
+        jacobian = deltas / np.maximum(ranges, 1e-9)[:, None]  # d|x-a|/dx
         jw = jacobian * weights[:, None]
         hessian = jw.T @ jacobian + 1e-9 * np.eye(2)
         gradient = jw.T @ residuals

@@ -20,6 +20,7 @@ and its buffered state freed.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -27,6 +28,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core.api import DecodeStats, Recognizer
 from repro.core.smoother import OnlineSmoother
 from repro.datasets.trace import ContextStep, LabeledSequence
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -67,6 +70,13 @@ class SessionRouter:
     max_sessions:
         Upper bound on concurrently open sessions; exceeding it evicts the
         least-recently-used session (flushing it first).
+    metrics:
+        Metrics destination.  ``None`` uses the process-wide registry when
+        observability is enabled, else a private registry — so
+        :meth:`metrics_snapshot` is always meaningful.  Every session's
+        smoother reports into the same registry (aggregate latency
+        histograms); per-session isolation stays in per-session
+        :class:`DecodeStats`.
     """
 
     def __init__(
@@ -74,6 +84,7 @@ class SessionRouter:
         model: Union[Recognizer, object],
         lag: int = 4,
         max_sessions: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         inner = getattr(model, "model_", model)
         if inner is None:
@@ -90,6 +101,16 @@ class SessionRouter:
         self.aggregate_stats = DecodeStats()
         #: Sessions evicted to honour ``max_sessions`` (observability).
         self.evicted = 0
+        if metrics is None:
+            metrics = obs.registry_if_enabled() or MetricsRegistry()
+        self.metrics = metrics
+        self._h_push = metrics.histogram("router.push_seconds")
+        self._h_push_many = metrics.histogram("router.push_many_seconds")
+        self._c_steps = metrics.counter("router.steps")
+        self._c_opened = metrics.counter("router.sessions_opened")
+        self._c_closed = metrics.counter("router.sessions_closed")
+        self._c_evicted = metrics.counter("router.sessions_evicted")
+        self._g_active = metrics.gauge("router.sessions_active")
 
     # -- session lifecycle ---------------------------------------------------------
 
@@ -109,11 +130,15 @@ class SessionRouter:
             steps=[],
             truths=[],
         )
-        smoother = self.model.step_filter(self.lag)
+        # Constructed directly (not via ``model.step_filter``) so every
+        # session's smoother reports into the router's registry.
+        smoother = OnlineSmoother(self.model, lag=self.lag, metrics=self.metrics)
         smoother.start(seq)
         state = SessionState(seq=seq, smoother=smoother)
         self._sessions[session_id] = state
+        self._c_opened.inc()
         self._evict_over_capacity(keep=session_id)
+        self._g_active.set(len(self._sessions))
         return state
 
     def push(self, session_id: str, step: ContextStep) -> Optional[Dict[str, str]]:
@@ -122,6 +147,7 @@ class SessionRouter:
         Returns the labels committed by this push (the step ``lag`` behind
         the stream head), or None while the lag window is still filling.
         """
+        t_push = time.perf_counter()
         state = self._sessions.get(session_id)
         if state is None:
             state = self.open_session(
@@ -135,6 +161,8 @@ class SessionRouter:
         labels = state.smoother.push(t)
         if labels is not None:
             state.committed.append(labels)
+        self._c_steps.inc()
+        self._h_push.observe(time.perf_counter() - t_push)
         return labels
 
     def push_many(
@@ -151,6 +179,7 @@ class SessionRouter:
         """
         if not steps:
             return []
+        t_push = time.perf_counter()
         state = self._sessions.get(session_id)
         if state is None:
             state = self.open_session(
@@ -164,6 +193,8 @@ class SessionRouter:
             state.seq.truths.append({})
         committed = state.smoother.push_many(range(t0, t0 + len(steps)))
         state.committed.extend(labels for labels in committed if labels is not None)
+        self._c_steps.inc(len(steps))
+        self._h_push_many.observe(time.perf_counter() - t_push)
         return committed
 
     def close_session(self, session_id: str) -> Dict[str, List[str]]:
@@ -171,6 +202,8 @@ class SessionRouter:
         if session_id not in self._sessions:
             raise KeyError(f"unknown session {session_id!r}")
         state = self._sessions.pop(session_id)
+        self._c_closed.inc()
+        self._g_active.set(len(self._sessions))
         return self._finish(state)
 
     def close_all(self) -> Dict[str, Dict[str, List[str]]]:
@@ -178,7 +211,9 @@ class SessionRouter:
         out = {}
         while self._sessions:
             sid, state = self._sessions.popitem(last=False)
+            self._c_closed.inc()
             out[sid] = self._finish(state)
+        self._g_active.set(0)
         return out
 
     # -- introspection -------------------------------------------------------------
@@ -197,13 +232,47 @@ class SessionRouter:
     def __contains__(self, session_id: str) -> bool:
         return session_id in self._sessions
 
+    def describe_dict(self) -> Dict[str, object]:
+        """Structured router state: configuration, lifecycle counters, and
+        per-session step counters (:meth:`describe` and
+        :meth:`metrics_snapshot` both render from this)."""
+        return {
+            "lag": self.lag,
+            "max_sessions": self.max_sessions,
+            "open_sessions": len(self._sessions),
+            "evicted": self.evicted,
+            "model": self.model.describe(),
+            "sessions": {
+                sid: {"pushed": state.pushed, "committed": len(state.committed)}
+                for sid, state in self._sessions.items()
+            },
+        }
+
     def describe(self) -> str:
         """One-line summary for logs and CLIs."""
+        d = self.describe_dict()
         return (
-            f"SessionRouter(lag={self.lag}, "
-            f"{len(self._sessions)}/{self.max_sessions} sessions, "
-            f"{self.evicted} evicted): {self.model.describe()}"
+            f"SessionRouter(lag={d['lag']}, "
+            f"{d['open_sessions']}/{d['max_sessions']} sessions, "
+            f"{d['evicted']} evicted): {d['model']}"
         )
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """JSON-ready observability snapshot: structured router state, the
+        full metrics registry (router gauges, push-latency histograms, the
+        smoothers' lag-window instruments), and derived rates."""
+        computed = self.metrics.counter("smoother.trans_blocks_computed").value
+        reused = self.metrics.counter("smoother.trans_blocks_reused").value
+        total = computed + reused
+        return {
+            "router": self.describe_dict(),
+            "derived": {
+                # Fraction of lag-window transition-block reads served by
+                # the push-time cache instead of a recomputation.
+                "smoother_trans_cache_hit_rate": (reused / total) if total else 0.0,
+            },
+            "metrics": self.metrics.snapshot(),
+        }
 
     # -- internals -----------------------------------------------------------------
 
@@ -221,3 +290,4 @@ class SessionRouter:
             del self._sessions[sid]
             self._finish(state)
             self.evicted += 1
+            self._c_evicted.inc()

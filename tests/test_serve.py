@@ -124,6 +124,89 @@ class TestLifecycle:
             router.open_session("s", resident_ids=("r1", "r2"))
 
 
+class TestEvictionAccounting:
+    """LRU eviction must finalize a session's stats into the aggregate
+    counters — exactly the solo-run numbers, never another session's."""
+
+    def _solo_stats(self, engine, seq, lag, n):
+        solo = engine.step_filter(lag=lag)
+        solo.start(seq)
+        for t in range(n):
+            solo.push(t)
+        solo.flush()
+        return solo.stats
+
+    def test_eviction_merges_exact_solo_stats(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=2, max_sessions=1)
+        for t in range(5):
+            router.push("old", test_seqs[0].steps[t])
+        router.push("new", test_seqs[1].steps[0])  # evicts "old"
+        assert "old" not in router
+        solo = self._solo_stats(engine, test_seqs[0], lag=2, n=5)
+        agg = router.aggregate_stats
+        assert (agg.steps, agg.joint_states, agg.transition_entries) == (
+            solo.steps,
+            solo.joint_states,
+            solo.transition_entries,
+        )
+
+    def test_interleaved_eviction_never_mixes_counters(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=1, max_sessions=2)
+        for t in range(4):
+            router.push("a", test_seqs[0].steps[t])
+            router.push("b", test_seqs[1].steps[t])
+        router.push("c", test_seqs[0].steps[0])  # evicts LRU "a"
+        assert "a" not in router and "b" in router and "c" in router
+        # The aggregate holds exactly "a"'s solo accounting...
+        solo_a = self._solo_stats(engine, test_seqs[0], lag=1, n=4)
+        agg = router.aggregate_stats
+        assert (agg.steps, agg.joint_states, agg.transition_entries) == (
+            solo_a.steps,
+            solo_a.joint_states,
+            solo_a.transition_entries,
+        )
+        # ...while the surviving session's counters are untouched by the
+        # interleaving and the eviction.
+        solo_b = self._solo_stats(engine, test_seqs[1], lag=1, n=4)
+        b = router.session("b").stats
+        assert (b.steps, b.joint_states, b.transition_entries) == (
+            solo_b.steps,
+            solo_b.joint_states,
+            solo_b.transition_entries,
+        )
+
+    def test_eviction_metrics_and_snapshot(self, engine, test_seqs):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        router = SessionRouter(engine, lag=1, max_sessions=1, metrics=reg)
+        router.push("a", test_seqs[0].steps[0])
+        router.push("a", test_seqs[0].steps[1])
+        router.push("b", test_seqs[1].steps[0])  # evicts "a"
+        assert reg.counter("router.sessions_evicted").value == 1
+        assert reg.counter("router.sessions_opened").value == 2
+        assert reg.gauge("router.sessions_active").value == 1
+        assert reg.counter("router.steps").value == 3
+        snap = router.metrics_snapshot()
+        assert snap["router"] == router.describe_dict()
+        assert snap["router"]["evicted"] == 1
+        assert snap["router"]["open_sessions"] == 1
+        assert snap["router"]["sessions"] == {"b": {"pushed": 1, "committed": 0}}
+        assert 0.0 < snap["derived"]["smoother_trans_cache_hit_rate"] <= 1.0
+        assert snap["metrics"]["smoother.push_seconds"]["count"] == 3
+        assert snap["metrics"]["router.push_seconds"]["count"] == 3
+
+    def test_describe_renders_from_describe_dict(self, engine, test_seqs):
+        router = SessionRouter(engine, lag=3, max_sessions=2)
+        router.push("s", test_seqs[0].steps[0])
+        d = router.describe_dict()
+        assert router.describe() == (
+            f"SessionRouter(lag={d['lag']}, "
+            f"{d['open_sessions']}/{d['max_sessions']} sessions, "
+            f"{d['evicted']} evicted): {d['model']}"
+        )
+
+
 class TestPushMany:
     def test_push_many_equals_step_by_step_push(self, engine, test_seqs):
         seq = test_seqs[0]
