@@ -1,0 +1,115 @@
+"""CI chaos smoke: batch decode under a seeded fault plan.
+
+Builds a small corpus, decodes it fault-free for a reference, then
+re-decodes under an explicit :class:`~repro.resilience.FaultPlan`
+(worker crashes, decode delays, raised errors — all deterministic by
+seed) and asserts the resilience contract:
+
+* every session the plan does not exhaust returns **bit-identical**
+  labels to the fault-free run;
+* the :class:`~repro.resilience.FailureReport` lists exactly the
+  sessions the plan predicts (``expected_failures``), with matching
+  retry/crash accounting;
+* the observability counters agree with the report.
+
+The report is written to ``benchmarks/out/failure_report.json`` — the
+artifact the CI chaos job uploads when this script fails.
+
+Run with ``PYTHONPATH=src python benchmarks/smoke_resilience.py``.
+The plan seed defaults to 86 and follows ``REPRO_FAULT_SEED`` when set,
+so CI can rotate chaos schedules without a code change.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.core.engine import CaceEngine
+from repro.datasets import generate_cace_dataset, train_test_split
+from repro.obs import provenance
+from repro.obs import runtime as obs
+from repro.resilience import Fault, FaultPlan, RetryPolicy, injected
+
+
+def main() -> int:
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "86"))
+    dataset = generate_cace_dataset(
+        n_homes=2, sessions_per_home=4, duration_s=900.0, seed=7
+    )
+    train, test = train_test_split(dataset, 0.5, seed=9)
+    engine = CaceEngine(strategy="c2", seed=11).fit(train)
+    keys = [f"{seq.home_id}:{i}" for i, seq in enumerate(test.sequences)]
+
+    # Fault-free reference decode (serial: nothing to recover from).
+    reference = engine.predict_dataset(test)
+
+    # One recoverable crash + delay + transient error, plus one session
+    # whose error outlives every retry — the planned casualty.
+    policy = RetryPolicy(max_retries=2, backoff_base_s=0.01, backoff_max_s=0.05)
+    plan = FaultPlan.from_seed(
+        seed, keys, n_crash=1, n_delay=1, n_error=1, times=1, delay_s=0.01
+    )
+    doomed = next(k for k in keys if k not in plan.faults)
+    plan.faults[doomed] = Fault("error", times=policy.max_attempts)
+    expected_failed = plan.expected_failures(policy.max_attempts)
+
+    obs.enable(metrics=True)
+    obs.reset()
+    failures = []
+    with injected(plan):
+        results = engine.predict_dataset(
+            test, workers=2, timeout_s=120.0, retry=policy, partial=True
+        )
+    report = engine.failure_report_
+
+    out = Path(__file__).parent / "out" / "failure_report.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = report.to_dict()
+    payload["plan"] = json.loads(plan.to_json())
+    payload["provenance"] = provenance()
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    print(report.describe())
+
+    if sorted(report.failed_keys()) != expected_failed:
+        failures.append(
+            f"failed sessions {sorted(report.failed_keys())} != plan {expected_failed}"
+        )
+    for key in keys:
+        if key in expected_failed:
+            if key in results:
+                failures.append(f"{key} should have failed but returned labels")
+            continue
+        if key not in results:
+            failures.append(f"{key} missing from partial results")
+        elif results[key] != reference[key]:
+            failures.append(f"{key} labels diverge from the fault-free reference")
+    if report.crashes < 1:
+        failures.append("the planned worker crash never happened")
+    if report.pool_replacements != 1:
+        failures.append(
+            f"expected exactly 1 pool replacement, saw {report.pool_replacements}"
+        )
+    reg = obs.get_registry()
+    for counter, want in (
+        ("engine.retries", report.retries),
+        ("engine.session_failures", len(report.failures)),
+        ("engine.pool_replacements", report.pool_replacements),
+    ):
+        got = reg.counter(counter).value
+        if got != want:
+            failures.append(f"counter {counter}={got} but report says {want}")
+
+    for failure in failures:
+        print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"chaos OK: {len(results)}/{len(keys)} sessions bit-identical, "
+            f"{len(expected_failed)} planned casualty reported"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

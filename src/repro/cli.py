@@ -108,6 +108,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "(decode latency histograms, smoother cache hit rate, session "
         "gauges, run provenance) to this path",
     )
+    rec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the offline --model batch decode",
+    )
+    rec.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-session decode timeout in seconds (--model)",
+    )
+    rec.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="max retries per failed session (--model; default 2)",
+    )
+    rec.add_argument(
+        "--partial",
+        action="store_true",
+        help="serve what succeeded: evaluate completed sessions and report "
+        "the failures instead of erroring out (--model)",
+    )
+    rec.add_argument(
+        "--failures-out",
+        help="write the batch FailureReport JSON to this path (--model)",
+    )
 
     return parser
 
@@ -251,9 +279,43 @@ def _run_serve_artifact(args: argparse.Namespace) -> int:
                 router.push(sid, step)
             return router.close_session(sid)
 
+        truth, predicted = _flatten_predictions(dataset, predict)
     else:
-        predict = engine.predict
-    truth, predicted = _flatten_predictions(dataset, predict)
+        # Offline serving goes through the fault-tolerant batch decode so
+        # --workers/--timeout/--retries/--partial all apply.
+        from repro.resilience import DecodeFailure, RetryPolicy
+
+        retry = None
+        if args.retries is not None:
+            retry = RetryPolicy(max_retries=args.retries)
+        try:
+            results = engine.predict_dataset(
+                dataset,
+                workers=args.workers,
+                timeout_s=args.timeout,
+                retry=retry,
+                partial=args.partial,
+            )
+        except DecodeFailure as exc:
+            print(exc.report.describe(), file=sys.stderr)
+            if args.failures_out:
+                exc.report.save(args.failures_out)
+                print(f"wrote failure report -> {args.failures_out}")
+            return 1
+        freport = engine.failure_report_
+        truth, predicted = [], []
+        for i, seq in enumerate(dataset.sequences):
+            pred = results.get(f"{seq.home_id}:{i}")
+            if pred is None:  # failed session, skipped under --partial
+                continue
+            for rid in seq.resident_ids:
+                truth.extend(seq.macro_labels(rid))
+                predicted.extend(pred[rid])
+        if freport is not None and not freport.ok():
+            print(freport.describe(), file=sys.stderr)
+        if args.failures_out and freport is not None:
+            freport.save(args.failures_out)
+            print(f"wrote failure report -> {args.failures_out}")
     report = evaluate_predictions(truth, predicted, list(dataset.macro_vocab))
     print(report.render())
     mode = f"streamed (lag={args.lag})" if args.stream else "offline"

@@ -13,6 +13,16 @@ model, so this is embarrassingly parallel) and merges each session's
 aggregate the throughput benchmarks and capacity planning read.
 ``posterior_marginals`` is available for every strategy, including NCR's
 frame-wise posteriors, so ROC/PRC sweeps cover all four.
+
+Fault tolerance: every batched decode runs under a
+:class:`~repro.resilience.RetryPolicy` (bounded retries, exponential
+backoff, deterministic jitter), per-session timeouts (``timeout_s``), and
+automatic pool replacement after a worker crash (``BrokenProcessPool`` —
+the pool is respawned once per call, re-shipping the model through the
+zero-copy initializer, and every unfinished session is re-submitted).
+With ``partial=True`` a batch never raises: completed sessions are
+returned and the structured :class:`~repro.resilience.FailureReport`
+lands in ``failure_report_``.
 """
 
 from __future__ import annotations
@@ -34,6 +44,15 @@ from repro.mining.constraint_miner import ConstraintMiner
 from repro.mining.correlation_miner import CorrelationMiner, CorrelationRuleSet
 from repro.models.hmm import MacroHmm
 from repro.obs import runtime as obs
+from repro.resilience import faultinject
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    DecodeFailure,
+    FailureReport,
+    RetryPolicy,
+    SessionFailure,
+    SessionTimeout,
+)
 from repro.util.rng import RandomState, ensure_rng
 from repro.util.timer import Stopwatch
 
@@ -51,6 +70,7 @@ def _init_worker(payload: bytes, codec: str) -> None:
     anything else (e.g. reference subclasses used by the benchmarks).
     """
     global _WORKER_MODEL
+    faultinject.mark_worker()  # arms real os._exit crash injection
     if codec == "artifact":
         from repro.util.artifacts import model_from_payload  # lazy: cycle
 
@@ -61,18 +81,57 @@ def _init_worker(payload: bytes, codec: str) -> None:
         _WORKER_MODEL = pickle.loads(payload)
 
 
-def _decode_session(item: Tuple[str, LabeledSequence]):
+def _decode_session(item: Tuple[str, LabeledSequence, int]):
     """Worker body for batched decoding: one session against the
     worker-resident model.  Returns a ``(key, predictions, DecodeStats,
     decode_seconds)`` tuple — the in-worker wall-clock lets the parent
-    split a future's turnaround into decode time vs queue wait.
-    Submitting sessions one at a time gives dynamic scheduling (fast
-    workers pick up the next session instead of idling behind a
-    pre-assigned chunk)."""
-    key, seq = item
+    split a future's turnaround into decode time vs queue wait, and is
+    what per-session timeouts are checked against.  Submitting sessions
+    one at a time gives dynamic scheduling (fast workers pick up the
+    next session instead of idling behind a pre-assigned chunk).
+
+    ``attempt`` is the 1-based retry ordinal; the fault-injection hook
+    uses it to stop firing once a planned fault is spent."""
+    key, seq, attempt = item
     t0 = time.perf_counter()
+    faultinject.maybe_inject(key, attempt)
     pred = _WORKER_MODEL.decode(seq)
     return key, pred, _WORKER_MODEL.last_stats, time.perf_counter() - t0
+
+
+class _BatchInstruments:
+    """Cached obs handles for one predict_dataset call (None when off)."""
+
+    __slots__ = (
+        "decode",
+        "wait",
+        "sessions",
+        "retries",
+        "timeouts",
+        "failures",
+        "pool_replacements",
+    )
+
+    def __init__(self, reg) -> None:
+        self.decode = reg.histogram("engine.decode_seconds")
+        self.wait = reg.histogram("engine.queue_wait_seconds")
+        self.sessions = reg.counter("engine.sessions_decoded")
+        self.retries = reg.counter("engine.retries")
+        self.timeouts = reg.counter("engine.timeouts")
+        self.failures = reg.counter("engine.session_failures")
+        self.pool_replacements = reg.counter("engine.pool_replacements")
+
+
+def _failure_kind(exc: BaseException) -> str:
+    """Map an attempt's exception onto the shared failure taxonomy."""
+    from concurrent.futures import TimeoutError as FuturesTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(exc, (SessionTimeout, FuturesTimeout)):
+        return "timeout"
+    if isinstance(exc, BrokenProcessPool) or getattr(exc, "kind", None) == "crash":
+        return "crash"
+    return "error"
 
 
 @dataclass
@@ -102,6 +161,11 @@ class CaceEngine:
     model_: Optional[Recognizer] = field(default=None, init=False)
     #: Aggregate DecodeStats of the last predict_dataset call.
     batch_stats_: Optional[DecodeStats] = field(default=None, init=False)
+    #: Structured failure outcome of the last predict_dataset call
+    #: (empty report when every session succeeded).
+    failure_report_: Optional[FailureReport] = field(default=None, init=False)
+    #: Worker pools replaced after a crash, over the engine's lifetime.
+    pool_replacements_: int = field(default=0, init=False)
     _rng: np.random.Generator = field(init=False, repr=False)
     #: Times the fitted model was serialised for worker shipping (once per
     #: pool lifetime — observability for the zero-copy contract).
@@ -196,7 +260,13 @@ class CaceEngine:
             return self.model_.decode(seq)
 
     def predict_dataset(
-        self, dataset: Dataset, workers: int = 1
+        self,
+        dataset: Dataset,
+        workers: int = 1,
+        *,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        partial: bool = False,
     ) -> Dict[str, Dict[str, List[str]]]:
         """Predictions keyed by a per-sequence identifier.
 
@@ -205,67 +275,227 @@ class CaceEngine:
         Per-session :class:`DecodeStats` are merged into ``batch_stats_``
         in both modes; the serial path additionally keeps per-decode
         wall-clock in the stopwatch as before.
+
+        Fault tolerance
+        ---------------
+        Each session is attempted up to ``retry.max_attempts`` times
+        (default :data:`~repro.resilience.DEFAULT_RETRY_POLICY`) with
+        exponential backoff and deterministic jitter between attempts.
+        ``timeout_s`` bounds one attempt's decode wall-clock: with a pool
+        it is enforced while waiting on the future (a hung worker is
+        abandoned and the session re-submitted), serially it is checked
+        against the attempt's measured duration.  A worker crash breaks
+        the whole pool (``BrokenProcessPool``); the pool is respawned
+        once per call — re-shipping the model through the zero-copy
+        initializer — and every unfinished session re-submitted.
+
+        The structured outcome lands in ``failure_report_`` (always set,
+        empty on a clean run).  Sessions that exhaust their attempts
+        raise :class:`~repro.resilience.DecodeFailure` — unless
+        ``partial=True``, which returns the completed sessions and
+        leaves the failures in the report instead.
         """
         if self.model_ is None:
             raise RuntimeError("engine is not fitted")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        policy = retry if retry is not None else DEFAULT_RETRY_POLICY
         items = [
             (f"{seq.home_id}:{i}", seq) for i, seq in enumerate(dataset.sequences)
         ]
         self.batch_stats_ = DecodeStats()
+        report = FailureReport()
+        self.failure_report_ = report
         out: Dict[str, Dict[str, List[str]]] = {}
         # Resolved per call (cheap: once per dataset, not per step) so an
         # engine built before obs.enable() still reports.
         reg = obs.registry_if_enabled()
-        h_decode = reg.histogram("engine.decode_seconds") if reg else None
-        h_wait = reg.histogram("engine.queue_wait_seconds") if reg else None
-        c_sessions = reg.counter("engine.sessions_decoded") if reg else None
+        ins = _BatchInstruments(reg) if reg is not None else None
         if workers <= 1 or len(items) <= 1:
             # Serial path: no worker pool is created (or touched) at all.
-            with obs.span("engine.predict_dataset", sessions=len(items), workers=1):
-                for key, seq in items:
-                    t0 = time.perf_counter()
-                    out[key] = self.predict(seq)
-                    if h_decode is not None:
-                        h_decode.observe(time.perf_counter() - t0)
-                        c_sessions.inc()
-                    stats = self.model_.last_stats
-                    if stats is not None:
-                        self.batch_stats_.merge(stats)
-            return out
-
-        workers = min(workers, len(items))
-        pool = self._worker_pool(workers)
-        with obs.span(
-            "engine.predict_dataset", sessions=len(items), workers=workers
-        ), self.stopwatch.phase("decode"):
-            # One future per session: dynamic scheduling across workers
-            # (results are collected in submission order for determinism).
-            futures = []
-            submit_at: Dict[object, float] = {}
-            done_at: Dict[object, float] = {}
-            for item in items:
-                future = pool.submit(_decode_session, item)
-                submit_at[future] = time.perf_counter()
-                if h_wait is not None:
-                    # Completion wall-clock captured the moment the result
-                    # lands, not when we get around to draining it below.
-                    future.add_done_callback(
-                        lambda f: done_at.__setitem__(f, time.perf_counter())
-                    )
-                futures.append(future)
-            for future in futures:
-                key, pred, stats, decode_s = future.result()
-                out[key] = pred
-                if stats is not None:
-                    self.batch_stats_.merge(stats)
-                if h_decode is not None:
-                    h_decode.observe(decode_s)
-                    c_sessions.inc()
-                    turnaround = (
-                        done_at.get(future, time.perf_counter()) - submit_at[future]
-                    )
-                    h_wait.observe(max(turnaround - decode_s, 0.0))
+            with obs.span(
+                "engine.predict_dataset", sessions=len(items), workers=1
+            ), self.stopwatch.phase("decode"):
+                self._predict_serial(items, out, policy, timeout_s, report, ins)
+        else:
+            workers = min(workers, len(items))
+            with obs.span(
+                "engine.predict_dataset", sessions=len(items), workers=workers
+            ), self.stopwatch.phase("decode"):
+                self._predict_pooled(
+                    items, workers, out, policy, timeout_s, report, ins
+                )
+        report.sessions_ok = len(out)
+        if report.failures and not partial:
+            raise DecodeFailure(report)
         return out
+
+    # -- fault-tolerant decode internals -------------------------------------------
+
+    def _account_failure(
+        self,
+        key: str,
+        attempt: int,
+        exc: BaseException,
+        policy: RetryPolicy,
+        report: FailureReport,
+        ins: Optional[_BatchInstruments],
+    ) -> bool:
+        """Book one failed attempt; True when the session is exhausted
+        (a :class:`SessionFailure` was recorded), False to retry."""
+        kind = _failure_kind(exc)
+        if kind == "timeout":
+            report.timeouts += 1
+            if ins is not None:
+                ins.timeouts.inc()
+        elif kind == "crash":
+            report.crashes += 1
+        if attempt >= policy.max_attempts:
+            report.failures.append(SessionFailure(key, kind, attempt, str(exc)))
+            if ins is not None:
+                ins.failures.inc()
+            return True
+        report.retries += 1
+        if ins is not None:
+            ins.retries.inc()
+        return False
+
+    def _record_success(
+        self,
+        out: Dict[str, Dict[str, List[str]]],
+        key: str,
+        pred: Dict[str, List[str]],
+        stats: Optional[DecodeStats],
+        decode_s: float,
+        ins: Optional[_BatchInstruments],
+    ) -> None:
+        out[key] = pred
+        if stats is not None:
+            self.batch_stats_.merge(stats)
+        if ins is not None:
+            ins.decode.observe(decode_s)
+            ins.sessions.inc()
+
+    def _predict_serial(
+        self, items, out, policy, timeout_s, report, ins
+    ) -> None:
+        for key, seq in items:
+            attempt = 1
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    faultinject.maybe_inject(key, attempt)
+                    pred = self.model_.decode(seq)
+                    decode_s = time.perf_counter() - t0
+                    if timeout_s is not None and decode_s > timeout_s:
+                        raise SessionTimeout(
+                            f"session {key!r} decoded in {decode_s:.3f}s "
+                            f"(timeout {timeout_s}s)"
+                        )
+                except Exception as exc:
+                    if self._account_failure(key, attempt, exc, policy, report, ins):
+                        break
+                    attempt += 1
+                    time.sleep(policy.delay_s(attempt, key))
+                    continue
+                self._record_success(out, key, pred, self.model_.last_stats,
+                                     decode_s, ins)
+                break
+
+    def _predict_pooled(
+        self, items, workers, out, policy, timeout_s, report, ins
+    ) -> None:
+        """Wave-based fan-out: submit every pending session, drain in
+        submission order, collect retries into the next wave.  With no
+        failures there is exactly one wave, so the happy path is the old
+        dynamic-scheduling fan-out unchanged."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = self._worker_pool(workers)
+        wave: List[Tuple[str, LabeledSequence, int]] = [
+            (key, seq, 1) for key, seq in items
+        ]
+        failed: set = set()
+        while wave:
+            futures = []
+            done_at: Dict[object, float] = {}
+            broken: Optional[BaseException] = None
+            try:
+                for key, seq, attempt in wave:
+                    future = pool.submit(_decode_session, (key, seq, attempt))
+                    if ins is not None:
+                        # Completion wall-clock captured the moment the
+                        # result lands, not when we drain it below.
+                        future.add_done_callback(
+                            lambda f: done_at.__setitem__(f, time.perf_counter())
+                        )
+                    futures.append((future, time.perf_counter()))
+            except BrokenProcessPool as exc:
+                broken = exc  # pool died mid-submission: crash-handle the rest
+            next_wave: List[Tuple[str, LabeledSequence, int]] = []
+            max_delay = 0.0
+            for i, (key, seq, attempt) in enumerate(wave):
+                if broken is not None and i >= len(futures):
+                    exc: BaseException = broken  # never submitted this wave
+                else:
+                    future, submit_t = futures[i]
+                    try:
+                        _, pred, stats, decode_s = future.result(timeout=timeout_s)
+                        if timeout_s is not None and decode_s > timeout_s:
+                            raise SessionTimeout(
+                                f"session {key!r} decoded in {decode_s:.3f}s "
+                                f"(timeout {timeout_s}s)"
+                            )
+                        self._record_success(out, key, pred, stats, decode_s, ins)
+                        if ins is not None:
+                            turnaround = (
+                                done_at.get(future, time.perf_counter()) - submit_t
+                            )
+                            ins.wait.observe(max(turnaround - decode_s, 0.0))
+                        continue
+                    except BrokenProcessPool as exc_:
+                        broken = exc_
+                        exc = exc_
+                    except Exception as exc_:
+                        exc = exc_
+                if self._account_failure(key, attempt, exc, policy, report, ins):
+                    failed.add(key)
+                else:
+                    next_wave.append((key, seq, attempt + 1))
+                    max_delay = max(max_delay, policy.delay_s(attempt + 1, key))
+            if broken is not None and not next_wave:
+                # Nothing left to retry, but never leave a broken pool
+                # cached for the next batch call.
+                self.close()
+            elif broken is not None:
+                pool = self._replace_pool(workers, report, ins)
+                if pool is None:
+                    # Second crash in one call: stop retrying, fail the rest.
+                    for key, _seq, attempt in next_wave:
+                        failed.add(key)
+                        report.failures.append(
+                            SessionFailure(key, "crash", attempt, str(broken))
+                        )
+                        if ins is not None:
+                            ins.failures.inc()
+                    return
+            if max_delay > 0.0:
+                time.sleep(max_delay)
+            wave = next_wave
+
+    def _replace_pool(self, workers, report, ins):
+        """Tear down a broken pool and respawn it once per batch call
+        (re-shipping the model through the initializer); None when this
+        call's replacement budget is spent."""
+        if report.pool_replacements >= 1:
+            self.close()
+            return None
+        self.close()
+        report.pool_replacements += 1
+        self.pool_replacements_ += 1
+        if ins is not None:
+            ins.pool_replacements.inc()
+        return self._worker_pool(workers)
 
     def _worker_pool(self, workers: int):
         """The persistent process pool, (re)built when the size or the
@@ -315,11 +545,16 @@ class CaceEngine:
 
         Idempotent, and safe on a partially-initialised engine (e.g. when
         ``__post_init__`` raised before the pool field existed, or when
-        ``fit`` was never called).
+        ``fit`` was never called).  Every teardown path — including one
+        triggered by a ``BrokenProcessPool`` — zeroes the
+        ``engine.pool_workers`` gauge so it never reports dead workers.
         """
         pool = getattr(self, "_pool", None)
         if pool is not None:
             pool.shutdown(wait=False)
+            reg = obs.registry_if_enabled()
+            if reg is not None:
+                reg.gauge("engine.pool_workers").set(0)
         self._pool = None
         self._pool_workers = 0
         self._pool_model_ref = None

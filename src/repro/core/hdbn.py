@@ -159,7 +159,7 @@ class SingleUserHdbn:
             # prior is the macro step-occupancy; the emission already carries
             # the per-step location coupling.
             out = []
-            for states, e, m, l in per_step:
+            for states, e, m, _l in per_step:
                 score = e + np.log(cm.macro_occupancy[m] + _TINY)
                 out.append(states[int(np.argmax(score))].macro)
             return out

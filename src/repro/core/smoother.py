@@ -188,11 +188,23 @@ class OnlineSmoother:
             raise RuntimeError("call start() before push_many()")
         ts = list(ts)
         if ts:
-            for sess in self._sessions:
-                prepare = getattr(sess, "prepare", None)
-                if prepare is not None:
-                    prepare(ts[0], ts[-1] + 1)
+            self.prepare_range(ts[0], ts[-1] + 1)
         return [self.push(t) for t in ts]
+
+    def prepare_range(self, t0: int, t1: int) -> None:
+        """Batch-build per-sequence evidence tables for steps ``[t0, t1)``.
+
+        Callers that need per-step control (e.g. the serving router's
+        fault isolation) use this plus :meth:`push` instead of
+        :meth:`push_many`; calling it is an optimisation only — ``push``
+        is correct without it.
+        """
+        if self._sessions is None:
+            raise RuntimeError("call start() before prepare_range()")
+        for sess in self._sessions:
+            prepare = getattr(sess, "prepare", None)
+            if prepare is not None:
+                prepare(t0, t1)
 
     def flush(self) -> List[Dict[str, str]]:
         """Commit every step still inside the lag window (session end)."""

@@ -171,7 +171,7 @@ class StateSpaceBuilder:
         seen: set = set()
         for m_i, macro in enumerate(cm.macro_index.labels):
             mass = float(occupancy[m_i, cand_idx].sum())
-            best_l = max(cand_idx, key=lambda l_i: occupancy[m_i, l_i])
+            best_l = cand_idx[int(np.argmax(occupancy[m_i, cand_idx]))]
             if mass < self.macro_mass_threshold:
                 # Outside its usual locations: keep one fallback hypothesis
                 # at the macro's modal sub-location.

@@ -177,7 +177,9 @@ def activity_profile(name: str) -> ActivityProfile:
     try:
         return _PROFILES[name]
     except KeyError:
-        raise KeyError(f"unknown macro activity {name!r}; known: {sorted(_PROFILES)}")
+        raise KeyError(
+            f"unknown macro activity {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
 
 
 def all_profiles() -> Dict[str, ActivityProfile]:

@@ -127,7 +127,7 @@ class ApartmentLayout:
         try:
             return self._by_id[sr_id]
         except KeyError:
-            raise KeyError(f"unknown sub-region {sr_id!r}")
+            raise KeyError(f"unknown sub-region {sr_id!r}") from None
 
     def room_of(self, sr_id: str) -> str:
         """Room containing a sub-region."""

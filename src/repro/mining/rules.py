@@ -95,7 +95,7 @@ def merge_redundant(rules: Iterable[AssociationRule]) -> List[AssociationRule]:
         by_consequent.setdefault(rule.consequent, []).append(rule)
 
     kept: List[AssociationRule] = []
-    for consequent, group in by_consequent.items():
+    for group in by_consequent.values():
         # Most general (smallest antecedent), then most confident, first.
         group = sorted(group, key=lambda r: (len(r.antecedent), -r.confidence))
         chosen: List[AssociationRule] = []

@@ -58,7 +58,7 @@ class LabelIndex:
         try:
             return self._index[label]
         except KeyError:
-            raise KeyError(f"unknown label {label!r}; known: {self.labels}")
+            raise KeyError(f"unknown label {label!r}; known: {self.labels}") from None
 
     def label(self, idx: int) -> str:
         """Label at dense index *idx*."""

@@ -1,0 +1,68 @@
+"""Fault tolerance for batch and streaming decode.
+
+CACE's own motivation is noisy, unreliable multi-inhabitant sensor
+streams; a serving deployment adds crashed workers, hung decodes, and
+malformed steps on top.  This package is the failure story threaded
+through :class:`~repro.core.engine.CaceEngine` and
+:class:`~repro.serve.router.SessionRouter`:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` (bounded retries,
+  exponential backoff, deterministic jitter), :class:`FailureReport`
+  (the structured outcome of a ``partial=True`` batch), and the shared
+  failure taxonomy.
+* :mod:`repro.resilience.streaming` — step validation, quarantine
+  tagging (:class:`DegradedLabels`), and the degraded-mode
+  :class:`DegradedStepFilter` that keeps a poisoned session emitting
+  labels from a cheap fallback or the macro prior.
+* :mod:`repro.resilience.faultinject` — the deterministic chaos harness
+  (seeded worker crashes, delays, exceptions, corrupted observations)
+  the resilience test suite and the CI chaos job run on.
+"""
+
+from repro.resilience.faultinject import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    corrupt_step,
+    injected,
+    maybe_inject,
+)
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    FAILURE_KINDS,
+    DecodeFailure,
+    FailureReport,
+    RetryPolicy,
+    SessionFailure,
+    SessionTimeout,
+    stable_unit,
+)
+from repro.resilience.streaming import (
+    DegradedLabels,
+    DegradedStepFilter,
+    StepValidationError,
+    prior_macro_label,
+    validate_step,
+)
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FAILURE_KINDS",
+    "DecodeFailure",
+    "DegradedLabels",
+    "DegradedStepFilter",
+    "FailureReport",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "SessionFailure",
+    "SessionTimeout",
+    "StepValidationError",
+    "corrupt_step",
+    "injected",
+    "maybe_inject",
+    "prior_macro_label",
+    "stable_unit",
+    "validate_step",
+]

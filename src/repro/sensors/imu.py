@@ -186,7 +186,9 @@ def signature_for(kind: str, name: str) -> MotionSignature:
     try:
         return registry[name]
     except KeyError:
-        raise KeyError(f"unknown {kind} micro-activity {name!r}; known: {sorted(registry)}")
+        raise KeyError(
+            f"unknown {kind} micro-activity {name!r}; known: {sorted(registry)}"
+        ) from None
 
 
 @dataclass

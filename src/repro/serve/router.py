@@ -16,6 +16,15 @@ the smoother's trellis adapters read from, so arbitrary interleavings of
 would.  When the session table is full the least-recently-used session is
 evicted: its lag window is flushed, its stats merged into the aggregate,
 and its buffered state freed.
+
+Fault isolation: every incoming step is validated
+(:func:`~repro.resilience.validate_step`) and a session whose smoother
+raises is handled per the ``on_error`` policy — ``"quarantine"`` (the
+default) flushes the healthy lag window and switches the session to
+degraded-mode serving (cheap fallback / prior-only labels, each commit a
+:class:`~repro.resilience.DegradedLabels` tagged ``degraded=True``),
+``"reset"`` rebuilds the session's smoother from scratch, ``"raise"``
+propagates.  One poisoned stream never takes down its neighbours.
 """
 
 from __future__ import annotations
@@ -30,6 +39,14 @@ from repro.core.smoother import OnlineSmoother
 from repro.datasets.trace import ContextStep, LabeledSequence
 from repro.obs import runtime as obs
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.streaming import (
+    DegradedStepFilter,
+    StepValidationError,
+    validate_step,
+)
+
+#: Valid ``SessionRouter(on_error=...)`` policies.
+ON_ERROR_POLICIES = ("quarantine", "reset", "raise")
 
 
 @dataclass
@@ -40,6 +57,10 @@ class SessionState:
     smoother: OnlineSmoother
     #: Labels committed so far, in step order (one dict per committed step).
     committed: List[Dict[str, str]] = field(default_factory=list)
+    #: True once the session is quarantined into degraded-mode serving.
+    degraded: bool = False
+    #: The fallback labeller serving this session while degraded.
+    degraded_filter: Optional[DegradedStepFilter] = None
 
     @property
     def stats(self) -> DecodeStats:
@@ -77,6 +98,18 @@ class SessionRouter:
         smoother reports into the same registry (aggregate latency
         histograms); per-session isolation stays in per-session
         :class:`DecodeStats`.
+    on_error:
+        What to do when a session's step fails validation or its smoother
+        raises: ``"quarantine"`` (default) flushes the healthy lag window
+        and serves the session degraded from then on, ``"reset"`` rebuilds
+        the session's smoother (committed labels are kept, the buffered
+        window and the offending step are dropped), ``"raise"``
+        propagates the error to the caller.
+    fallback:
+        Optional cheap recogniser (e.g. a fitted
+        :class:`~repro.models.hmm.MacroHmm`) used for degraded-mode
+        per-step labels; without one, degraded sessions emit the model's
+        prior-argmax label.
     """
 
     def __init__(
@@ -85,6 +118,8 @@ class SessionRouter:
         lag: int = 4,
         max_sessions: int = 64,
         metrics: Optional[MetricsRegistry] = None,
+        on_error: str = "quarantine",
+        fallback: Optional[Recognizer] = None,
     ) -> None:
         inner = getattr(model, "model_", model)
         if inner is None:
@@ -93,14 +128,24 @@ class SessionRouter:
             raise ValueError(f"lag must be >= 0, got {lag}")
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+            )
         self.model: Recognizer = inner
         self.lag = lag
         self.max_sessions = max_sessions
+        self.on_error = on_error
+        self.fallback = getattr(fallback, "model_", fallback)
         self._sessions: "OrderedDict[str, SessionState]" = OrderedDict()
         #: Merged DecodeStats of every closed/evicted session.
         self.aggregate_stats = DecodeStats()
         #: Sessions evicted to honour ``max_sessions`` (observability).
         self.evicted = 0
+        #: Sessions quarantined into degraded-mode serving so far.
+        self.quarantined = 0
+        #: Sessions rebuilt by the ``"reset"`` policy so far.
+        self.resets = 0
         if metrics is None:
             metrics = obs.registry_if_enabled() or MetricsRegistry()
         self.metrics = metrics
@@ -111,6 +156,11 @@ class SessionRouter:
         self._c_closed = metrics.counter("router.sessions_closed")
         self._c_evicted = metrics.counter("router.sessions_evicted")
         self._g_active = metrics.gauge("router.sessions_active")
+        self._c_quarantined = metrics.counter("router.sessions_quarantined")
+        self._c_reset = metrics.counter("router.sessions_reset")
+        self._c_rejected = metrics.counter("router.steps_rejected")
+        self._c_degraded_steps = metrics.counter("router.degraded_steps")
+        self._g_degraded = metrics.gauge("router.sessions_degraded")
 
     # -- session lifecycle ---------------------------------------------------------
 
@@ -146,56 +196,66 @@ class SessionRouter:
 
         Returns the labels committed by this push (the step ``lag`` behind
         the stream head), or None while the lag window is still filling.
+        A quarantined session returns a :class:`DegradedLabels` dict for
+        every push instead.
         """
         t_push = time.perf_counter()
-        state = self._sessions.get(session_id)
-        if state is None:
-            state = self.open_session(
-                session_id, resident_ids=tuple(sorted(step.observations))
-            )
-        else:
-            self._sessions.move_to_end(session_id)
-        t = len(state.seq.steps)
-        state.seq.steps.append(step)
-        state.seq.truths.append({})
-        labels = state.smoother.push(t)
-        if labels is not None:
-            state.committed.append(labels)
-        self._c_steps.inc()
-        self._h_push.observe(time.perf_counter() - t_push)
-        return labels
+        try:
+            state = self._sessions.get(session_id)
+            if state is not None and state.degraded:
+                return self._degraded_push(state, step)
+            try:
+                validate_step(
+                    step, state.seq.resident_ids if state is not None else None
+                )
+            except StepValidationError as exc:
+                return self._handle_bad_step(session_id, state, step, exc)
+            if state is None:
+                state = self.open_session(
+                    session_id, resident_ids=tuple(sorted(step.observations))
+                )
+            else:
+                self._sessions.move_to_end(session_id)
+            t = len(state.seq.steps)
+            state.seq.steps.append(step)
+            state.seq.truths.append({})
+            try:
+                labels = state.smoother.push(t)
+            except Exception as exc:
+                return self._handle_smoother_error(state, step, exc)
+            if labels is not None:
+                state.committed.append(labels)
+            self._c_steps.inc()
+            return labels
+        finally:
+            self._h_push.observe(time.perf_counter() - t_push)
 
     def push_many(
         self, session_id: str, steps: List[ContextStep]
     ) -> List[Optional[Dict[str, str]]]:
         """Consume a batch of steps for *session_id* in one call.
 
-        The whole batch is appended to the session buffer first, so the
-        smoother's trellis adapters batch-build their per-sequence
-        evidence tables across the batch instead of re-dispatching per
-        step.  Returns one entry per pushed step — exactly what
-        step-by-step :meth:`push` would have returned (None entries while
-        the lag window fills).
+        Maximal runs of valid steps are appended to the session buffer
+        first, so the smoother's trellis adapters batch-build their
+        per-sequence evidence tables across the run instead of
+        re-dispatching per step.  Returns one entry per pushed step —
+        exactly what step-by-step :meth:`push` would have returned (None
+        entries while the lag window fills, degraded/None entries per the
+        ``on_error`` policy when steps fail).
         """
         if not steps:
             return []
         t_push = time.perf_counter()
-        state = self._sessions.get(session_id)
-        if state is None:
-            state = self.open_session(
-                session_id, resident_ids=tuple(sorted(steps[0].observations))
-            )
-        else:
-            self._sessions.move_to_end(session_id)
-        t0 = len(state.seq.steps)
-        for step in steps:
-            state.seq.steps.append(step)
-            state.seq.truths.append({})
-        committed = state.smoother.push_many(range(t0, t0 + len(steps)))
-        state.committed.extend(labels for labels in committed if labels is not None)
-        self._c_steps.inc(len(steps))
-        self._h_push_many.observe(time.perf_counter() - t_push)
-        return committed
+        out: List[Optional[Dict[str, str]]] = []
+        try:
+            i = 0
+            while i < len(steps):
+                consumed, labels = self._push_run(session_id, steps, i)
+                out.extend(labels)
+                i += consumed
+            return out
+        finally:
+            self._h_push_many.observe(time.perf_counter() - t_push)
 
     def close_session(self, session_id: str) -> Dict[str, List[str]]:
         """Flush the lag window, free the session, return all its labels."""
@@ -241,12 +301,26 @@ class SessionRouter:
             "max_sessions": self.max_sessions,
             "open_sessions": len(self._sessions),
             "evicted": self.evicted,
+            "on_error": self.on_error,
+            "quarantined": self.quarantined,
+            "resets": self.resets,
+            "degraded_sessions": self._degraded_count(),
             "model": self.model.describe(),
             "sessions": {
-                sid: {"pushed": state.pushed, "committed": len(state.committed)}
+                sid: self._describe_session(state)
                 for sid, state in self._sessions.items()
             },
         }
+
+    def _describe_session(self, state: SessionState) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "pushed": state.pushed,
+            "committed": len(state.committed),
+        }
+        if state.degraded:
+            # Only present when True, so healthy snapshots stay lean.
+            d["degraded"] = True
+        return d
 
     def describe(self) -> str:
         """One-line summary for logs and CLIs."""
@@ -277,8 +351,19 @@ class SessionRouter:
     # -- internals -----------------------------------------------------------------
 
     def _finish(self, state: SessionState) -> Dict[str, List[str]]:
-        state.committed.extend(state.smoother.flush())
+        if state.degraded:
+            # The healthy window was flushed at quarantine time; a second
+            # flush is a no-op for a consistent smoother and must never
+            # block session teardown for a poisoned one.
+            try:
+                state.committed.extend(state.smoother.flush())
+            except Exception:
+                pass
+            self.aggregate_stats.merge(state.degraded_filter.stats)
+        else:
+            state.committed.extend(state.smoother.flush())
         self.aggregate_stats.merge(state.stats)
+        self._g_degraded.set(self._degraded_count())
         return state.labels()
 
     def _evict_over_capacity(self, keep: str) -> None:
@@ -291,3 +376,147 @@ class SessionRouter:
             self._finish(state)
             self.evicted += 1
             self._c_evicted.inc()
+
+    # -- fault handling ------------------------------------------------------------
+
+    def _degraded_count(self) -> int:
+        return sum(1 for s in self._sessions.values() if s.degraded)
+
+    def _degraded_push(
+        self, state: SessionState, step: ContextStep, append: bool = True
+    ) -> Dict[str, str]:
+        """Serve one step of a quarantined session through its fallback."""
+        if append:
+            state.seq.steps.append(step)
+            state.seq.truths.append({})
+        labels = state.degraded_filter.push_step(step)
+        state.committed.append(labels)
+        self._c_steps.inc()
+        self._c_degraded_steps.inc()
+        return labels
+
+    def _quarantine(
+        self, state: SessionState, step: ContextStep, append: bool
+    ) -> Dict[str, str]:
+        """Flush the healthy window, switch to degraded serving, and serve
+        *step* (``append=False`` when the step already sits in the buffer,
+        i.e. the smoother choked on it after the append)."""
+        self.quarantined += 1
+        self._c_quarantined.inc()
+        try:
+            state.committed.extend(state.smoother.flush())
+        except Exception:
+            pass  # a poisoned window forfeits its lag tail
+        state.degraded = True
+        state.degraded_filter = DegradedStepFilter(
+            self.model,
+            state.seq.resident_ids,
+            fallback=self.fallback,
+            step_s=state.seq.step_s,
+        )
+        self._g_degraded.set(self._degraded_count())
+        return self._degraded_push(state, step, append=append)
+
+    def _reset_session(self, state: SessionState) -> None:
+        """Rebuild the session's smoother from scratch: committed labels
+        survive, the buffered window and offending step do not."""
+        self.resets += 1
+        self._c_reset.inc()
+        self.aggregate_stats.merge(state.stats)
+        state.seq.steps.clear()
+        state.seq.truths.clear()
+        smoother = OnlineSmoother(self.model, lag=self.lag, metrics=self.metrics)
+        smoother.start(state.seq)
+        state.smoother = smoother
+
+    def _handle_bad_step(
+        self,
+        session_id: str,
+        state: Optional[SessionState],
+        step: ContextStep,
+        exc: StepValidationError,
+    ) -> Optional[Dict[str, str]]:
+        """Policy dispatch for a step that failed validation (not yet
+        appended to the buffer)."""
+        self._c_rejected.inc()
+        if self.on_error == "raise":
+            raise exc
+        if state is None:
+            # Nothing to quarantine or reset: an invalid opening step is
+            # dropped without creating a session.
+            return None
+        self._sessions.move_to_end(session_id)
+        if self.on_error == "reset":
+            self._reset_session(state)
+            return None
+        return self._quarantine(state, step, append=True)
+
+    def _handle_smoother_error(
+        self, state: SessionState, step: ContextStep, exc: Exception
+    ) -> Optional[Dict[str, str]]:
+        """Policy dispatch for a smoother that raised on an appended step."""
+        if self.on_error == "raise":
+            raise exc
+        if self.on_error == "reset":
+            self._reset_session(state)
+            return None
+        return self._quarantine(state, step, append=False)
+
+    def _push_run(
+        self, session_id: str, steps: List[ContextStep], i: int
+    ) -> Tuple[int, List[Optional[Dict[str, str]]]]:
+        """Consume a maximal homogeneous run of ``steps[i:]``; returns
+        ``(n_consumed, labels)`` with one label entry per consumed step."""
+        state = self._sessions.get(session_id)
+        if state is not None and state.degraded:
+            labels = [self._degraded_push(state, step) for step in steps[i:]]
+            return len(steps) - i, labels
+        rids = state.seq.resident_ids if state is not None else None
+        try:
+            validate_step(steps[i], rids)
+        except StepValidationError as exc:
+            return 1, [self._handle_bad_step(session_id, state, steps[i], exc)]
+        if state is None:
+            state = self.open_session(
+                session_id, resident_ids=tuple(sorted(steps[i].observations))
+            )
+            rids = state.seq.resident_ids
+        else:
+            self._sessions.move_to_end(session_id)
+        # Extend the run while steps stay valid, append it, bulk-prepare.
+        j = i + 1
+        while j < len(steps):
+            try:
+                validate_step(steps[j], rids)
+            except StepValidationError:
+                break
+            j += 1
+        t0 = len(state.seq.steps)
+        for step in steps[i:j]:
+            state.seq.steps.append(step)
+            state.seq.truths.append({})
+        out: List[Optional[Dict[str, str]]] = []
+        consumed = 0
+        error: Optional[Exception] = None
+        try:
+            state.smoother.prepare_range(t0, t0 + (j - i))
+            for k in range(i, j):
+                labels = state.smoother.push(t0 + (k - i))
+                if labels is not None:
+                    state.committed.append(labels)
+                out.append(labels)
+                self._c_steps.inc()
+                consumed += 1
+        except Exception as exc:  # noqa: BLE001 — isolate any decode fault
+            error = exc
+        if error is not None:
+            # Drop the unconsumed tail from the buffer; the failing step
+            # stays (matching push(): it was appended when the smoother
+            # choked on it), then hand it to the policy.
+            del state.seq.steps[t0 + consumed + 1 :]
+            del state.seq.truths[t0 + consumed + 1 :]
+            out.append(
+                self._handle_smoother_error(state, steps[i + consumed], error)
+            )
+            consumed += 1
+        return consumed, out

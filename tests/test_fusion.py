@@ -12,8 +12,10 @@ _GRAVITY = 9.81
 _NORTH = np.array([22.0, 0.0, -42.0])  # typical inclination field, uT
 
 
-def _static_sample(t: float, q: Quaternion, gyro=np.zeros(3)) -> ImuSample:
+def _static_sample(t: float, q: Quaternion, gyro=None) -> ImuSample:
     """A stationary sample for a body at orientation *q* (body->world)."""
+    if gyro is None:
+        gyro = np.zeros(3)
     inv = q.inverse()
     accel = inv.rotate(np.array([0.0, 0.0, _GRAVITY]))
     mag = inv.rotate(_NORTH)

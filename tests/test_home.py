@@ -97,7 +97,7 @@ class TestBehaviorEngine:
 
     def test_timelines_tile_the_session(self):
         timelines, duration = self._session()
-        for rid, segments in timelines.items():
+        for segments in timelines.values():
             assert segments[0].start == 0.0
             for prev, cur in zip(segments[:-1], segments[1:]):
                 assert cur.start == pytest.approx(prev.end)

@@ -95,7 +95,7 @@ class TestChangepoint:
         segments = segment_stream(stream, window=6, threshold=2.0)
         assert segments[0][0] == 0
         assert segments[-1][1] == 60
-        for (a, b), (c, d) in zip(segments[:-1], segments[1:]):
+        for (_a, b), (c, _d) in zip(segments[:-1], segments[1:]):
             assert b == c
 
     def test_majority_smooth(self):

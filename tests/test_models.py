@@ -270,7 +270,7 @@ class TestBaselineModels:
         train, test = cace_split
         model = MacroHmm().fit(train)
         proba = model.predict_proba(test.sequences[0])
-        for rid, gamma in proba.items():
+        for gamma in proba.values():
             assert np.allclose(gamma.sum(axis=1), 1.0, atol=1e-6)
 
     def test_coupled_hmm_shapes(self, cace_split):

@@ -235,6 +235,35 @@ class TestPushMany:
             sorted(test_seqs[0].steps[0].observations)
         )
 
+    def test_push_many_unknown_session_id_opens_fresh(self, engine, test_seqs):
+        """A batch for a never-seen session id is served from a fresh
+        session, not an error — same contract as single-step push."""
+        router = SessionRouter(engine, lag=1)
+        router.push_many("a", list(test_seqs[0].steps[:2]))
+        out = router.push_many("never-seen", list(test_seqs[1].steps[:3]))
+        assert len(out) == 3
+        assert router.session("never-seen").pushed == 3
+        assert router.metrics.counter("router.sessions_opened").value == 2
+
+    def test_push_many_after_eviction_reopens_from_scratch(
+        self, engine, test_seqs
+    ):
+        """A session evicted mid-stream that pushes again gets a brand-new
+        session (empty buffer, fresh smoother), and the opened counter
+        reflects the reopen."""
+        seq = test_seqs[0]
+        router = SessionRouter(engine, lag=1, max_sessions=1)
+        router.push_many("a", list(seq.steps[:4]))
+        router.push_many("b", list(test_seqs[1].steps[:2]))  # evicts "a"
+        assert "a" not in router
+        assert router.evicted == 1
+        out = router.push_many("a", list(seq.steps[4:6]))  # mid-stream resume
+        assert len(out) == 2
+        state = router.session("a")
+        assert state.pushed == 2  # no memory of the evicted buffer
+        assert state.stats.steps == 2
+        assert router.metrics.counter("router.sessions_opened").value == 3
+
 
 class TestWorkerPoolLifecycle:
     def test_serial_predict_dataset_creates_no_pool(self, engine, cace_split):
